@@ -1,0 +1,76 @@
+"""Ablation A: Algorithm 3 vs the naive dual-graph method.
+
+The naive method costs O(Σ deg(v)² log E): its gap to Algorithm 3
+should *grow with degree skew*.  We sweep hub-and-spoke graphs of
+increasing hub degree and a fixed-size Erdős–Rényi control, reporting
+the speedup per workload (the paper reports >300× on Wikipedia).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EdgeScalarGraph,
+    build_edge_tree,
+    build_edge_tree_naive,
+    build_super_tree,
+)
+from repro.graph.generators import erdos_renyi, hub_and_spoke
+
+
+def _field(graph, seed=0):
+    rng = np.random.default_rng(seed)
+    return EdgeScalarGraph(
+        graph, rng.integers(0, 8, graph.n_edges).astype(float)
+    )
+
+
+def test_ablation_speedup_vs_skew(benchmark, report):
+    def sweep():
+        lines = [
+            f"{'workload':<24}{'edges':>8}{'fast(s)':>10}{'naive(s)':>10}"
+            f"{'speedup':>9}"
+        ]
+        workloads = [
+            ("uniform (ER n=400)", erdos_renyi(400, 1200, seed=1)),
+            ("hub degree 100", hub_and_spoke(100, spoke_length=3)),
+            ("hub degree 300", hub_and_spoke(300, spoke_length=3)),
+            ("hub degree 900", hub_and_spoke(900, spoke_length=3)),
+        ]
+        speedups = []
+        for name, graph in workloads:
+            field = _field(graph)
+            t0 = time.perf_counter()
+            build_super_tree(build_edge_tree(field))
+            fast = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            build_super_tree(build_edge_tree_naive(field))
+            naive = time.perf_counter() - t0
+            speedups.append(naive / fast)
+            lines.append(
+                f"{name:<24}{graph.n_edges:>8}{fast:>10.4f}{naive:>10.4f}"
+                f"{naive / fast:>8.1f}x"
+            )
+        return "\n".join(lines), speedups
+
+    table, speedups = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report("ablation_edge_tree", table)
+    # The gap must grow with hub degree (the paper's scaling story).
+    assert speedups[-1] > speedups[1]
+
+
+@pytest.mark.parametrize("hub_degree", [100, 300])
+def test_bench_fast_on_hub(benchmark, hub_degree):
+    field = _field(hub_and_spoke(hub_degree, spoke_length=3))
+    benchmark(lambda: build_super_tree(build_edge_tree(field)))
+
+
+@pytest.mark.parametrize("hub_degree", [100, 300])
+def test_bench_naive_on_hub(benchmark, hub_degree):
+    field = _field(hub_and_spoke(hub_degree, spoke_length=3))
+    benchmark.pedantic(
+        lambda: build_super_tree(build_edge_tree_naive(field)),
+        rounds=2, iterations=1,
+    )

@@ -1,0 +1,64 @@
+"""Ablation B: simplification levels vs tree size and render time.
+
+The paper's §II-E: discretizing the scalar values shrinks the super
+tree so rendering stays interactive.  Simplification collapses the
+long equal-bin *chains* of a continuous field, so we sweep bin counts
+on a betweenness-centrality tree (every vertex a distinct value, the
+worst case: exact Nt ≈ |V|) and report node count + render time.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ScalarGraph,
+    build_super_tree,
+    build_vertex_tree,
+    simplify_tree,
+)
+from repro.graph import datasets
+from repro.measures import betweenness_centrality
+from repro.terrain import render_terrain
+
+
+def _betweenness_tree():
+    graph = datasets.load("astro").graph
+    field = ScalarGraph(
+        graph, betweenness_centrality(graph, samples=64, seed=0)
+    )
+    return build_vertex_tree(field)
+
+
+def test_ablation_bins_sweep(benchmark, report):
+    raw = _betweenness_tree()
+    exact = build_super_tree(raw)
+
+    def sweep():
+        lines = [f"{'bins':>8}{'Nt':>8}{'render(s)':>12}"]
+        for bins in (4, 8, 16, 32, None):
+            if bins is None:
+                tree = exact
+                label = "exact"
+            else:
+                tree = simplify_tree(raw, bins, scheme="quantile")
+                label = str(bins)
+            t0 = time.perf_counter()
+            render_terrain(tree, resolution=120, width=400, height=300)
+            tv = time.perf_counter() - t0
+            lines.append(f"{label:>8}{tree.n_nodes:>8}{tv:>12.2f}")
+        return "\n".join(lines)
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report("ablation_simplify", table)
+    # Monotonicity of the tree size in bins.
+    n4 = simplify_tree(raw, 4, scheme="quantile").n_nodes
+    n32 = simplify_tree(raw, 32, scheme="quantile").n_nodes
+    assert n4 <= n32 <= exact.n_nodes
+
+
+@pytest.mark.parametrize("bins", [4, 16])
+def test_bench_simplify(benchmark, bins):
+    raw = _betweenness_tree()
+    benchmark(lambda: simplify_tree(raw, bins, scheme="quantile"))

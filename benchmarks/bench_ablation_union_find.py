@@ -1,0 +1,75 @@
+"""Ablation C: union-find path compression on/off.
+
+Algorithm 1's near-linear bound rests on the O(α(n)) amortised
+union-find.  We rebuild the vertex scalar tree with the naive
+(uncompressed) structure swapped in and report the slowdown.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import NaiveUnionFind, ScalarGraph, UnionFind
+from repro.core.scalar_tree import ScalarTree
+
+
+def _build_tree_with(uf_cls, scalar_graph):
+    """Algorithm 1 with a pluggable union-find implementation."""
+    graph = scalar_graph.graph
+    n = graph.n_vertices
+    scalars = scalar_graph.scalars
+    order = np.lexsort((np.arange(n), -scalars))
+    rank = np.empty(n, dtype=np.int64)
+    rank[order] = np.arange(n)
+    parent = [-1] * n
+    uf = uf_cls(n)
+    tree_root = list(range(n))
+    indptr = graph.indptr.tolist()
+    indices = graph.indices.tolist()
+    rank_list = rank.tolist()
+    for v in order.tolist():
+        rank_v = rank_list[v]
+        for pos in range(indptr[v], indptr[v + 1]):
+            w = indices[pos]
+            if rank_list[w] < rank_v:
+                root_v, root_w = uf.find(v), uf.find(w)
+                if root_v != root_w:
+                    parent[tree_root[root_w]] = v
+                    merged = uf.union(root_v, root_w)
+                    tree_root[merged] = v
+    return ScalarTree(np.array(parent), scalars.copy())
+
+
+def test_ablation_compression(benchmark, report, kcore_field):
+    field = kcore_field("wikipedia")
+
+    def compare():
+        t0 = time.perf_counter()
+        fast_tree = _build_tree_with(UnionFind, field)
+        fast = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        naive_tree = _build_tree_with(NaiveUnionFind, field)
+        naive = time.perf_counter() - t0
+        assert np.array_equal(fast_tree.parent, naive_tree.parent)
+        return fast, naive
+
+    fast, naive = benchmark.pedantic(compare, rounds=1, iterations=1)
+    report(
+        "ablation_union_find",
+        f"Algorithm 1 on Wikipedia stand-in "
+        f"({field.n_vertices} vertices, {field.n_edges} edges)\n"
+        f"with path compression:    {fast:.3f}s\n"
+        f"without path compression: {naive:.3f}s\n"
+        f"slowdown: {naive / fast:.1f}x",
+    )
+
+
+def test_bench_compressed(benchmark, kcore_field):
+    field = kcore_field("grqc")
+    benchmark(lambda: _build_tree_with(UnionFind, field))
+
+
+def test_bench_uncompressed(benchmark, kcore_field):
+    field = kcore_field("grqc")
+    benchmark(lambda: _build_tree_with(NaiveUnionFind, field))

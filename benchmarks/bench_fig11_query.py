@@ -1,0 +1,93 @@
+"""Fig 11: terrain visualization of a SQL query result.
+
+The plant-genus query table is modelled as a nearest-neighbour graph;
+height = a selected attribute, colour = genus.  Regenerates both panels
+(attribute 1 vs attribute 2 as the scalar) and checks the paper's three
+findings: (i) three genera with blue well-separated; (ii) red nested
+inside green; (iii) attribute 1 shows greater genus separability.
+"""
+
+import numpy as np
+
+from repro.core import ScalarGraph, build_super_tree, build_vertex_tree
+from repro.graph import datasets
+from repro.query import knn_graph, plant_query_table
+from repro.terrain import render_terrain
+from repro.terrain.colormap import _RAMP
+
+from conftest import OUT_DIR
+
+_GENUS_COLORS = _RAMP[[3, 1, 0]]  # red, green, blue
+
+
+def test_fig11_query_terrains(benchmark, report):
+    table, genus = plant_query_table(per_genus=60, seed=0)
+    graph = knn_graph(table, k=5)
+
+    def render_both():
+        trees = []
+        for attr in (0, 1):
+            sg = ScalarGraph(graph, table[:, attr])
+            tree = build_super_tree(build_vertex_tree(sg))
+            render_terrain(
+                tree,
+                categorical_labels=genus,
+                color_table=_GENUS_COLORS,
+                resolution=140, width=560, height=420,
+                path=OUT_DIR / f"fig11_attr{attr}.png",
+            )
+            trees.append(tree)
+        return trees
+
+    benchmark.pedantic(render_both, rounds=1, iterations=1)
+
+    # (i) blue separated: almost no NN edges cross the genus-2 border.
+    cross = sum(
+        1 for u, v in graph.edges() if (genus[u] == 2) != (genus[v] == 2)
+    )
+    # (iii) separability: between/within variance ratio per attribute.
+    def separability(col):
+        overall = table[:, col].var()
+        within = np.mean([table[genus == g, col].var() for g in range(3)])
+        return (overall - within) / within
+
+    sep0, sep1 = separability(0), separability(1)
+    lines = [
+        f"genus-2 (blue) crossing NN edges: {cross} "
+        f"of {graph.n_edges} (well separated)",
+        f"attribute separability (between/within): "
+        f"attr0 = {sep0:.2f}, attr1 = {sep1:.2f}",
+        "attribute 0 separates the genera more strongly "
+        f"({sep0:.2f} > {sep1:.2f})",
+    ]
+    assert cross < 0.02 * graph.n_edges
+    assert sep0 > sep1
+    report("fig11_query", "\n".join(lines))
+
+
+def test_fig11_red_contained_in_green(benchmark, report):
+    """(ii): the red genus is more central / contained within green from
+    a connectivity standpoint in the NN graph."""
+    table, genus = plant_query_table(per_genus=60, seed=0)
+    graph = knn_graph(table, k=5)
+
+    def containment():
+        red = np.flatnonzero(genus == 0)
+        green = np.flatnonzero(genus == 1)
+        red_to_green = sum(
+            1 for u, v in graph.edges()
+            if {genus[u], genus[v]} == {0, 1}
+        )
+        green_to_blue = sum(
+            1 for u, v in graph.edges()
+            if {genus[u], genus[v]} == {1, 2}
+        )
+        return red_to_green, green_to_blue
+
+    red_green, green_blue = benchmark(containment)
+    lines = [
+        f"red-green NN edges: {red_green} (intertwined)",
+        f"green-blue NN edges: {green_blue} (separated)",
+    ]
+    assert red_green > 5 * max(green_blue, 1)
+    report("fig11_containment", "\n".join(lines))

@@ -1,0 +1,135 @@
+"""Table II: terrain visualization time cost.
+
+For each (dataset, scalar) pair the paper reports the super-tree size
+``Nt``, construction time ``tc`` (Algorithm 1 or 3 plus Algorithm 2),
+naive edge-tree time ``te`` (dual-graph method), and visualization time
+``tv``.  We regenerate the same rows on the stand-ins.  The expected
+*shape*: tc ≪ te on edge fields (the paper reports >300× on Wikipedia;
+the gap grows with degree skew), Nt orders of magnitude below |V| or
+|E|, and tv dominated by rendering, not tree construction.
+
+``te`` is measured only where the dual graph fits the time budget —
+exactly the paper's point about the naive method.
+"""
+
+import time
+
+import pytest
+
+from repro.core import (
+    build_edge_tree,
+    build_edge_tree_naive,
+    build_super_tree,
+    build_vertex_tree,
+)
+from repro.terrain import layout_tree, rasterize, render_terrain
+
+# (dataset, measure kind, run naive te?)
+_ROWS = [
+    ("grqc", "kcore", True),
+    ("grqc", "ktruss", True),
+    ("wikivote", "kcore", True),
+    ("wikivote", "ktruss", True),
+    ("wikipedia", "kcore", False),
+    ("wikipedia", "ktruss", False),
+    ("cit_patent", "kcore", False),
+    ("cit_patent", "ktruss", False),
+]
+
+
+def _build(kind, field):
+    if kind == "kcore":
+        return build_super_tree(build_vertex_tree(field))
+    return build_super_tree(build_edge_tree(field))
+
+
+def test_table2_full(benchmark, report, kcore_field, ktruss_field):
+    def build_table():
+        lines = [
+            f"{'dataset':<12}{'scalar':<8}{'Nt':>8}{'tc(s)':>10}"
+            f"{'te(s)':>10}{'tv(s)':>8}"
+        ]
+        for name, kind, run_naive in _ROWS:
+            field = (
+                kcore_field(name) if kind == "kcore" else ktruss_field(name)
+            )
+            t0 = time.perf_counter()
+            tree = _build(kind, field)
+            tc = time.perf_counter() - t0
+
+            te = float("nan")
+            if kind == "ktruss" and run_naive:
+                t0 = time.perf_counter()
+                build_super_tree(build_edge_tree_naive(field))
+                te = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            render_terrain(tree, resolution=120, width=480, height=360)
+            tv = time.perf_counter() - t0
+
+            scalar = "KC(v)" if kind == "kcore" else "KT(e)"
+            te_text = f"{te:>10.3f}" if te == te else f"{'-':>10}"
+            lines.append(
+                f"{name:<12}{scalar:<8}{tree.n_nodes:>8}{tc:>10.4f}"
+                f"{te_text}{tv:>8.2f}"
+            )
+        return "\n".join(lines)
+
+    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    report("table2_construction", table)
+
+
+@pytest.mark.parametrize("name", ["grqc", "wikivote"])
+def test_bench_vertex_tree_construction(benchmark, kcore_field, name):
+    """tc for KC(v): Algorithm 1 + Algorithm 2."""
+    field = kcore_field(name)
+    benchmark(lambda: build_super_tree(build_vertex_tree(field)))
+
+
+@pytest.mark.parametrize("name", ["grqc", "wikivote"])
+def test_bench_edge_tree_optimized(benchmark, ktruss_field, name):
+    """tc for KT(e): Algorithm 3 + Algorithm 2."""
+    field = ktruss_field(name)
+    benchmark(lambda: build_super_tree(build_edge_tree(field)))
+
+
+@pytest.mark.parametrize("name", ["grqc", "wikivote"])
+def test_bench_edge_tree_naive(benchmark, ktruss_field, name):
+    """te: the dual-graph baseline the paper beats by >300×."""
+    field = ktruss_field(name)
+    benchmark.pedantic(
+        lambda: build_super_tree(build_edge_tree_naive(field)),
+        rounds=3, iterations=1,
+    )
+
+
+def test_bench_large_vertex_tree(benchmark, kcore_field):
+    """tc at scale: Wikipedia stand-in KC tree."""
+    field = kcore_field("wikipedia")
+    benchmark.pedantic(
+        lambda: build_super_tree(build_vertex_tree(field)),
+        rounds=3, iterations=1,
+    )
+
+
+def test_bench_large_edge_tree(benchmark, ktruss_field):
+    """tc at scale: Wikipedia stand-in KT edge tree."""
+    field = ktruss_field("wikipedia")
+    benchmark.pedantic(
+        lambda: build_super_tree(build_edge_tree(field)),
+        rounds=3, iterations=1,
+    )
+
+
+def test_bench_render_tv(benchmark, kcore_super_tree):
+    """tv: layout + rasterize + software render of the GrQc terrain."""
+    tree = kcore_super_tree("grqc")
+
+    def render():
+        layout = layout_tree(tree)
+        hf = rasterize(layout, resolution=120)
+        render_terrain(
+            tree, layout=layout, heightfield=hf, width=480, height=360
+        )
+
+    benchmark.pedantic(render, rounds=3, iterations=1)

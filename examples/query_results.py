@@ -1,0 +1,62 @@
+"""Visualizing SQL query results as terrains (the Fig 11 workflow).
+
+A materialised query result — here a synthetic plant-genus table with
+five numeric attributes — is modelled as a nearest-neighbour graph;
+each selected attribute induces a scalar field, and the terrain shows
+how the attribute distributes over the result's similarity structure.
+
+Run:  python examples/query_results.py
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+from repro import ScalarGraph, build_super_tree, build_vertex_tree, render_terrain
+from repro.query import knn_graph, plant_query_table
+from repro.terrain.colormap import _RAMP
+
+OUT = Path(__file__).parent / "out"
+
+
+def main() -> None:
+    table, genus = plant_query_table(per_genus=60, seed=0)
+    graph = knn_graph(table, k=5)
+    print(f"query result: {len(table)} rows, 5 attributes, "
+          f"NN graph with {graph.n_edges} edges")
+
+    genus_colors = _RAMP[[3, 1, 0]]  # red, green, blue genera
+    for attr in (0, 1):
+        field = ScalarGraph(graph, table[:, attr])
+        tree = build_super_tree(build_vertex_tree(field))
+        render_terrain(
+            tree,
+            categorical_labels=genus,
+            color_table=genus_colors,
+            path=OUT / f"query_attr{attr}_terrain.png",
+        )
+
+    # The paper's three findings, measured on the artifact:
+    cross_blue = sum(
+        1 for u, v in graph.edges() if (genus[u] == 2) != (genus[v] == 2)
+    )
+    print(f"finding i: blue genus well separated "
+          f"({cross_blue} crossing NN edges)")
+    red_green = sum(
+        1 for u, v in graph.edges() if {genus[u], genus[v]} == {0, 1}
+    )
+    print(f"finding ii: red nested within green "
+          f"({red_green} red-green NN edges)")
+
+    def separability(col: int) -> float:
+        overall = table[:, col].var()
+        within = np.mean([table[genus == g, col].var() for g in range(3)])
+        return (overall - within) / within
+
+    print(f"finding iii: attribute 0 separates genera more than "
+          f"attribute 1 ({separability(0):.2f} vs {separability(1):.2f})")
+    print(f"\nartifacts written to {OUT}/")
+
+
+if __name__ == "__main__":
+    main()

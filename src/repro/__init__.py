@@ -1,0 +1,94 @@
+"""repro — Analyzing and Visualizing Scalar Fields on Graphs.
+
+A from-scratch reproduction of Zhang, Wang & Parthasarathy (ICDE 2017,
+arXiv:1702.03825): scalar graphs, (super) scalar trees over maximal
+α-connected components, terrain-metaphor visualization, multi-field
+correlation analysis, comparison baselines, and a simulated user study.
+
+Quickstart::
+
+    from repro import (
+        ScalarGraph, build_vertex_tree, build_super_tree, render_terrain,
+    )
+    from repro.graph import datasets
+    from repro.measures import core_numbers
+
+    graph = datasets.load("grqc").graph
+    field = ScalarGraph(graph, core_numbers(graph).astype(float))
+    tree = build_super_tree(build_vertex_tree(field))
+    render_terrain(tree, path="grqc_kcore.png")
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: scalar graphs, Algorithms 1–3, super
+    trees, α-components, simplification, LCI/GCI.
+``repro.graph``
+    CSR graph substrate, builders, I/O, generators, dataset registry.
+``repro.measures``
+    K-core, K-truss, triangles, centralities, communities, roles.
+``repro.terrain``
+    Nested-disc layout, heightfield, software 3D renderer, treemap,
+    peak queries, linked selection.
+``repro.baselines``
+    Spring layout, LaNet-vi, OpenOrd, CSV plot.
+``repro.query``
+    Nearest-neighbour graphs over query results (Fig 11).
+``repro.study``
+    Simulated user study regenerating Tables IV–VI.
+"""
+
+from .core import (
+    EdgeScalarGraph,
+    ScalarGraph,
+    ScalarTree,
+    SuperTree,
+    build_edge_tree,
+    build_edge_tree_naive,
+    build_super_tree,
+    build_vertex_tree,
+    global_correlation_index,
+    local_correlation_index,
+    maximal_alpha_components,
+    maximal_alpha_edge_components,
+    mcc,
+    outlier_score,
+    simplify_tree,
+)
+from .terrain import (
+    Camera,
+    highest_peaks,
+    layout_tree,
+    peaks_at,
+    rasterize,
+    render_terrain,
+    treemap_svg,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ScalarGraph",
+    "EdgeScalarGraph",
+    "ScalarTree",
+    "SuperTree",
+    "build_vertex_tree",
+    "build_edge_tree",
+    "build_edge_tree_naive",
+    "build_super_tree",
+    "simplify_tree",
+    "maximal_alpha_components",
+    "maximal_alpha_edge_components",
+    "mcc",
+    "local_correlation_index",
+    "global_correlation_index",
+    "outlier_score",
+    "Camera",
+    "layout_tree",
+    "rasterize",
+    "render_terrain",
+    "treemap_svg",
+    "peaks_at",
+    "highest_peaks",
+    "__version__",
+]

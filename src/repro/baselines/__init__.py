@@ -1,0 +1,18 @@
+"""Comparison baselines: spring layout, LaNet-vi, OpenOrd, CSV plot."""
+
+from .csv_plot import csv_order, csv_plot_svg
+from .lanet_vi import lanet_vi_layout, lanet_vi_svg
+from .openord import coarsen, openord_layout, openord_svg
+from .spring import draw_graph_svg, spring_layout
+
+__all__ = [
+    "spring_layout",
+    "draw_graph_svg",
+    "lanet_vi_layout",
+    "lanet_vi_svg",
+    "coarsen",
+    "openord_layout",
+    "openord_svg",
+    "csv_order",
+    "csv_plot_svg",
+]

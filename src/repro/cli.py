@@ -1,0 +1,235 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Four commands cover the common workflows without writing any Python:
+
+* ``terrain`` — render the terrain of a registered dataset (or an edge
+  list file) under a chosen measure;
+* ``peaks``   — list the highest disconnected peaks (densest K-cores /
+  K-trusses / community cores);
+* ``treemap`` / ``profile`` — the linked 2D displays;
+* ``correlate`` — LCI/GCI of two vertex measures.
+
+Examples::
+
+    python -m repro terrain --dataset grqc --measure kcore -o out.png
+    python -m repro peaks --dataset ppi --measure ktruss --count 3
+    python -m repro correlate --dataset astro degree betweenness
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from .core import (
+    EdgeScalarGraph,
+    ScalarGraph,
+    build_edge_tree,
+    build_super_tree,
+    build_vertex_tree,
+    global_correlation_index,
+    outlier_score,
+    simplify_tree,
+)
+from .graph import datasets
+from .graph.csr import CSRGraph
+from .graph.io import read_edge_list
+from .measures import (
+    betweenness_centrality,
+    closeness_centrality,
+    core_numbers,
+    degree_centrality,
+    eigenvector_centrality,
+    harmonic_centrality,
+    pagerank,
+    truss_numbers,
+)
+from .terrain import (
+    Camera,
+    highest_peaks,
+    layout_tree,
+    render_terrain,
+    treemap_svg,
+)
+from .terrain.profile import profile_svg
+
+__all__ = ["main"]
+
+_VERTEX_MEASURES = {
+    "kcore": lambda g: core_numbers(g).astype(float),
+    "degree": lambda g: degree_centrality(g, normalized=False),
+    "pagerank": pagerank,
+    "closeness": closeness_centrality,
+    "harmonic": harmonic_centrality,
+    "eigenvector": eigenvector_centrality,
+    "betweenness": lambda g: betweenness_centrality(
+        g, samples=min(256, g.n_vertices), seed=0
+    ),
+}
+_EDGE_MEASURES = {
+    "ktruss": lambda g: truss_numbers(g).astype(float),
+}
+
+
+def _load_graph(args) -> CSRGraph:
+    if args.dataset:
+        return datasets.load(args.dataset).graph
+    if args.edge_list:
+        return read_edge_list(args.edge_list)
+    raise SystemExit("provide --dataset or --edge-list")
+
+
+def _build_tree(graph: CSRGraph, measure: str, bins: Optional[int]):
+    if measure in _VERTEX_MEASURES:
+        field = ScalarGraph(graph, _VERTEX_MEASURES[measure](graph))
+        raw = build_vertex_tree(field)
+    elif measure in _EDGE_MEASURES:
+        field = EdgeScalarGraph(graph, _EDGE_MEASURES[measure](graph))
+        raw = build_edge_tree(field)
+    else:
+        known = sorted(_VERTEX_MEASURES) + sorted(_EDGE_MEASURES)
+        raise SystemExit(f"unknown measure {measure!r}; pick from {known}")
+    if bins:
+        return simplify_tree(raw, bins, scheme="quantile")
+    return build_super_tree(raw)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", help="registered dataset name")
+    parser.add_argument("--edge-list", help="path to a SNAP-style edge list")
+    parser.add_argument(
+        "--measure", default="kcore",
+        help="scalar measure (kcore, ktruss, degree, betweenness, "
+             "pagerank, closeness, harmonic, eigenvector)",
+    )
+    parser.add_argument(
+        "--bins", type=int, default=None,
+        help="simplify the tree to ~N scalar levels before drawing",
+    )
+
+
+def _cmd_terrain(args) -> int:
+    graph = _load_graph(args)
+    tree = _build_tree(graph, args.measure, args.bins)
+    camera = Camera(
+        azimuth=args.azimuth, elevation=args.elevation,
+    ).zoomed(args.zoom)
+    render_terrain(
+        tree, camera=camera,
+        resolution=args.resolution,
+        width=args.width, height=args.height,
+        path=args.output,
+    )
+    print(f"terrain of {args.measure} -> {args.output} "
+          f"({tree.n_nodes} super nodes)")
+    return 0
+
+
+def _cmd_peaks(args) -> int:
+    graph = _load_graph(args)
+    tree = _build_tree(graph, args.measure, args.bins)
+    layout = layout_tree(tree)
+    unit = "edges" if tree.kind == "edge" else "vertices"
+    for i, peak in enumerate(
+        highest_peaks(tree, count=args.count, layout=layout)
+    ):
+        print(f"#{i + 1}: level {peak.alpha:g}, {peak.size} {unit}, "
+              f"summit {peak.summit:g}")
+    return 0
+
+
+def _cmd_treemap(args) -> int:
+    graph = _load_graph(args)
+    tree = _build_tree(graph, args.measure, args.bins)
+    treemap_svg(tree, size=args.width, path=args.output)
+    print(f"treemap of {args.measure} -> {args.output}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    graph = _load_graph(args)
+    tree = _build_tree(graph, args.measure, args.bins)
+    profile_svg(tree, width=args.width, height=args.height,
+                path=args.output)
+    print(f"profile of {args.measure} -> {args.output}")
+    return 0
+
+
+def _cmd_correlate(args) -> int:
+    graph = _load_graph(args)
+    fields = []
+    for name in (args.field_i, args.field_j):
+        if name not in _VERTEX_MEASURES:
+            raise SystemExit(f"unknown vertex measure {name!r}")
+        fields.append(_VERTEX_MEASURES[name](graph))
+    gci = global_correlation_index(graph, fields[0], fields[1])
+    print(f"GCI({args.field_i}, {args.field_j}) = {gci:.4f}")
+    scores = outlier_score(graph, fields[0], fields[1])
+    top = np.argsort(-scores)[: args.count]
+    print("top outlier vertices (most locally anti-correlated):")
+    for v in top:
+        print(f"  vertex {int(v)}: outlier_score {scores[v]:.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The assembled argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Scalar fields on graphs: terrains, peaks, correlation.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    terrain = sub.add_parser("terrain", help="render a terrain image")
+    _add_common(terrain)
+    terrain.add_argument("-o", "--output", default="terrain.png")
+    terrain.add_argument("--azimuth", type=float, default=35.0)
+    terrain.add_argument("--elevation", type=float, default=38.0)
+    terrain.add_argument("--zoom", type=float, default=1.0)
+    terrain.add_argument("--resolution", type=int, default=160)
+    terrain.add_argument("--width", type=int, default=640)
+    terrain.add_argument("--height", type=int, default=480)
+    terrain.set_defaults(func=_cmd_terrain)
+
+    peaks = sub.add_parser("peaks", help="list highest disconnected peaks")
+    _add_common(peaks)
+    peaks.add_argument("--count", type=int, default=3)
+    peaks.set_defaults(func=_cmd_peaks)
+
+    treemap = sub.add_parser("treemap", help="write the 2D treemap SVG")
+    _add_common(treemap)
+    treemap.add_argument("-o", "--output", default="treemap.svg")
+    treemap.add_argument("--width", type=int, default=640)
+    treemap.set_defaults(func=_cmd_treemap)
+
+    profile = sub.add_parser("profile", help="write the 1D profile SVG")
+    _add_common(profile)
+    profile.add_argument("-o", "--output", default="profile.svg")
+    profile.add_argument("--width", type=int, default=720)
+    profile.add_argument("--height", type=int, default=240)
+    profile.set_defaults(func=_cmd_profile)
+
+    correlate = sub.add_parser(
+        "correlate", help="GCI and outliers of two vertex measures"
+    )
+    _add_common(correlate)
+    correlate.add_argument("field_i")
+    correlate.add_argument("field_j")
+    correlate.add_argument("--count", type=int, default=5)
+    correlate.set_defaults(func=_cmd_correlate)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

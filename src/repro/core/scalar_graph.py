@@ -1,0 +1,142 @@
+"""Scalar graphs: a graph plus a scalar value per vertex or per edge.
+
+These are the paper's central objects (§II, Notation).  A *vertex-based
+scalar graph* carries one number per vertex (``v.scalar``); an
+*edge-based scalar graph* one number per edge (``e.scalar``).  Both
+wrap an immutable :class:`~repro.graph.csr.CSRGraph` plus an aligned
+float vector, and can carry any number of named auxiliary fields (used
+e.g. to colour a terrain by a second measure).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+__all__ = ["ScalarGraph", "EdgeScalarGraph"]
+
+
+def _as_field(values, expected: int, what: str) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1 or len(arr) != expected:
+        raise ValueError(f"{what} must be a 1-D vector of length {expected}")
+    if not np.isfinite(arr).all():
+        raise ValueError(f"{what} must be finite (no NaN/inf)")
+    return arr
+
+
+class ScalarGraph:
+    """A graph whose vertices carry scalar values.
+
+    Parameters
+    ----------
+    graph:
+        The underlying :class:`CSRGraph`.
+    scalars:
+        Primary scalar field, one float per vertex.
+    fields:
+        Optional extra named vertex fields (e.g. a second measure for
+        colouring, nominal attributes encoded as floats).
+    """
+
+    __slots__ = ("graph", "scalars", "fields")
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        scalars,
+        fields: Optional[Dict[str, np.ndarray]] = None,
+    ) -> None:
+        self.graph = graph
+        self.scalars = _as_field(scalars, graph.n_vertices, "scalars")
+        self.fields: Dict[str, np.ndarray] = {}
+        for name, values in (fields or {}).items():
+            self.fields[name] = _as_field(
+                values, graph.n_vertices, f"field {name!r}"
+            )
+
+    @property
+    def n_vertices(self) -> int:
+        return self.graph.n_vertices
+
+    @property
+    def n_edges(self) -> int:
+        return self.graph.n_edges
+
+    def scalar_of(self, v: int) -> float:
+        """``v.scalar`` in the paper's notation."""
+        return float(self.scalars[v])
+
+    def with_scalars(self, scalars) -> "ScalarGraph":
+        """Same graph and fields, different primary scalar field."""
+        return ScalarGraph(self.graph, scalars, fields=dict(self.fields))
+
+    def add_field(self, name: str, values) -> None:
+        """Attach (or replace) a named auxiliary vertex field."""
+        self.fields[name] = _as_field(
+            values, self.n_vertices, f"field {name!r}"
+        )
+
+    def __repr__(self) -> str:
+        extra = f", fields={sorted(self.fields)}" if self.fields else ""
+        return (
+            f"ScalarGraph(n_vertices={self.n_vertices}, "
+            f"n_edges={self.n_edges}{extra})"
+        )
+
+
+class EdgeScalarGraph:
+    """A graph whose edges carry scalar values.
+
+    ``scalars[i]`` is the value of edge ``i`` in the dense edge-id order
+    of :meth:`CSRGraph.edge_array` (pairs sorted with ``u < v``).
+    """
+
+    __slots__ = ("graph", "scalars", "fields", "_edge_pairs")
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        scalars,
+        fields: Optional[Dict[str, np.ndarray]] = None,
+    ) -> None:
+        self.graph = graph
+        self.scalars = _as_field(scalars, graph.n_edges, "scalars")
+        self.fields: Dict[str, np.ndarray] = {}
+        for name, values in (fields or {}).items():
+            self.fields[name] = _as_field(
+                values, graph.n_edges, f"field {name!r}"
+            )
+        self._edge_pairs: Optional[np.ndarray] = None
+
+    @property
+    def n_vertices(self) -> int:
+        return self.graph.n_vertices
+
+    @property
+    def n_edges(self) -> int:
+        return self.graph.n_edges
+
+    @property
+    def edge_pairs(self) -> np.ndarray:
+        """The ``(m, 2)`` endpoint array aligned with ``scalars`` (cached)."""
+        if self._edge_pairs is None:
+            self._edge_pairs = self.graph.edge_array()
+        return self._edge_pairs
+
+    def scalar_of(self, u: int, v: int) -> float:
+        """``e.scalar`` for the edge ``(u, v)``."""
+        return float(self.scalars[self.graph.edge_id(u, v)])
+
+    def with_scalars(self, scalars) -> "EdgeScalarGraph":
+        """Same graph and fields, different primary scalar field."""
+        return EdgeScalarGraph(self.graph, scalars, fields=dict(self.fields))
+
+    def __repr__(self) -> str:
+        return (
+            f"EdgeScalarGraph(n_vertices={self.n_vertices}, "
+            f"n_edges={self.n_edges})"
+        )

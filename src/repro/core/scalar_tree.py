@@ -1,0 +1,180 @@
+"""Vertex scalar trees — the paper's Algorithm 1.
+
+A scalar tree has one node per vertex (same scalar value) such that the
+subtrees obtained by cutting the tree at height α are exactly the maximal
+α-connected components of the scalar graph (Properties 1–4, §II-B).
+
+Construction processes vertices in decreasing scalar order and maintains
+a union-find over the already-processed ones; when the current vertex
+touches a previously processed subtree it becomes the new root of that
+subtree.  Worst-case O(E·α(n) + V log V).
+
+The same tree structure is reused for *edge* scalar trees (Algorithm 3,
+:mod:`repro.core.edge_tree`): a :class:`ScalarTree` is simply a rooted
+forest over item ids (vertex ids or edge ids) with a scalar per item.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from .scalar_graph import ScalarGraph
+from .union_find import UnionFind
+
+__all__ = ["ScalarTree", "build_vertex_tree"]
+
+
+class ScalarTree:
+    """A rooted forest over items ``0..n-1``, each carrying a scalar.
+
+    Every node's scalar is >= its parent's scalar, so cutting the forest
+    at height α leaves subtrees that correspond one-to-one with maximal
+    α-connected components (after super-node postprocessing when values
+    repeat — see :mod:`repro.core.super_tree`).
+
+    Attributes
+    ----------
+    parent:
+        ``parent[i]`` is the tree parent of item ``i`` (−1 for roots).
+    scalars:
+        Scalar value per item.
+    kind:
+        ``"vertex"`` or ``"edge"`` — what the items are.
+    """
+
+    __slots__ = ("parent", "scalars", "kind", "_children", "_roots")
+
+    def __init__(
+        self, parent: np.ndarray, scalars: np.ndarray, kind: str = "vertex"
+    ) -> None:
+        self.parent = np.asarray(parent, dtype=np.int64)
+        self.scalars = np.asarray(scalars, dtype=np.float64)
+        if len(self.parent) != len(self.scalars):
+            raise ValueError("parent and scalars must have equal length")
+        if kind not in ("vertex", "edge"):
+            raise ValueError("kind must be 'vertex' or 'edge'")
+        self.kind = kind
+        self._children: Optional[List[List[int]]] = None
+        self._roots: Optional[List[int]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Number of tree nodes (= number of items)."""
+        return len(self.parent)
+
+    @property
+    def roots(self) -> List[int]:
+        """All forest roots (one per connected component of the graph)."""
+        if self._roots is None:
+            self._roots = [int(i) for i in np.flatnonzero(self.parent < 0)]
+        return self._roots
+
+    def children(self, node: Optional[int] = None):
+        """Children of ``node``, or the full child-list table if ``None``."""
+        if self._children is None:
+            table: List[List[int]] = [[] for _ in range(self.n_nodes)]
+            for i, p in enumerate(self.parent):
+                if p >= 0:
+                    table[int(p)].append(i)
+            self._children = table
+        if node is None:
+            return self._children
+        return self._children[node]
+
+    def subtree_nodes(self, node: int) -> np.ndarray:
+        """All items in the subtree rooted at ``node`` (pre-order)."""
+        out = []
+        stack = [node]
+        children = self.children()
+        while stack:
+            cur = stack.pop()
+            out.append(cur)
+            stack.extend(children[cur])
+        return np.array(out, dtype=np.int64)
+
+    def depth(self, node: int) -> int:
+        """Number of ancestors of ``node``."""
+        d = 0
+        while self.parent[node] >= 0:
+            node = int(self.parent[node])
+            d += 1
+        return d
+
+    def iter_topological(self) -> Iterator[int]:
+        """Yield nodes parents-first (roots, then their children, ...)."""
+        children = self.children()
+        stack = list(self.roots)
+        while stack:
+            cur = stack.pop()
+            yield cur
+            stack.extend(children[cur])
+
+    def validate(self) -> None:
+        """Check structural invariants; raise ``ValueError`` on violation.
+
+        Invariants: acyclic with a parent chain ending at a root, and
+        every child's scalar >= its parent's scalar.
+        """
+        seen = 0
+        for __ in self.iter_topological():
+            seen += 1
+        if seen != self.n_nodes:
+            raise ValueError("parent pointers contain a cycle or orphan")
+        has_parent = self.parent >= 0
+        kids = np.flatnonzero(has_parent)
+        if len(kids) and np.any(
+            self.scalars[kids] < self.scalars[self.parent[kids]]
+        ):
+            raise ValueError("child scalar below parent scalar")
+
+    def __repr__(self) -> str:
+        return (
+            f"ScalarTree(kind={self.kind!r}, n_nodes={self.n_nodes}, "
+            f"n_roots={len(self.roots)})"
+        )
+
+
+def build_vertex_tree(scalar_graph: ScalarGraph) -> ScalarTree:
+    """Algorithm 1: construct the vertex scalar tree of a scalar graph.
+
+    Vertices are processed in decreasing scalar order (ties broken by
+    vertex id, ascending, via a stable sort); each time the current
+    vertex meets an already-processed subtree it is attached as that
+    subtree's new root.  Disconnected graphs yield a forest.
+
+    When scalar values repeat, apply
+    :func:`repro.core.super_tree.build_super_tree` to restore the
+    subtree ↔ component correspondence (paper's Algorithm 2).
+    """
+    graph = scalar_graph.graph
+    n = graph.n_vertices
+    scalars = scalar_graph.scalars
+    # Decreasing scalar, ties by ascending vertex id (lexsort: last key primary).
+    order = np.lexsort((np.arange(n), -scalars))
+    rank = np.empty(n, dtype=np.int64)
+    rank[order] = np.arange(n)
+
+    parent = [-1] * n
+    uf = UnionFind(n)
+    tree_root = list(range(n))  # union-find root -> current subtree root node
+    indptr = graph.indptr.tolist()
+    indices = graph.indices.tolist()
+    rank_list = rank.tolist()
+
+    for v in order.tolist():
+        rank_v = rank_list[v]
+        for pos in range(indptr[v], indptr[v + 1]):
+            w = indices[pos]
+            if rank_list[w] < rank_v:
+                root_v, root_w = uf.find(v), uf.find(w)
+                if root_v != root_w:
+                    parent[tree_root[root_w]] = v
+                    merged = uf.union(root_v, root_w)
+                    tree_root[merged] = v
+
+    return ScalarTree(
+        np.array(parent, dtype=np.int64), scalars.copy(), kind="vertex"
+    )

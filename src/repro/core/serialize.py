@@ -1,0 +1,112 @@
+"""JSON (de)serialization of scalar trees and super trees.
+
+Building the tree for a huge graph can dominate an analysis session;
+persisting it lets the visualization side (or another process) reload
+in milliseconds.  The format is a plain JSON document — stable,
+diff-able, and language-agnostic.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .scalar_tree import ScalarTree
+from .super_tree import SuperTree
+
+__all__ = [
+    "scalar_tree_to_json",
+    "scalar_tree_from_json",
+    "super_tree_to_json",
+    "super_tree_from_json",
+    "save_tree",
+    "load_tree",
+]
+
+PathLike = Union[str, Path]
+_FORMAT = "repro-scalar-tree/1"
+
+
+def scalar_tree_to_json(tree: ScalarTree) -> str:
+    """Serialize a :class:`ScalarTree` to a JSON string."""
+    return json.dumps(
+        {
+            "format": _FORMAT,
+            "type": "scalar_tree",
+            "kind": tree.kind,
+            "parent": tree.parent.tolist(),
+            "scalars": tree.scalars.tolist(),
+        }
+    )
+
+
+def scalar_tree_from_json(text: str) -> ScalarTree:
+    """Inverse of :func:`scalar_tree_to_json`."""
+    doc = json.loads(text)
+    _check(doc, "scalar_tree")
+    return ScalarTree(
+        np.array(doc["parent"], dtype=np.int64),
+        np.array(doc["scalars"], dtype=np.float64),
+        kind=doc["kind"],
+    )
+
+
+def super_tree_to_json(tree: SuperTree) -> str:
+    """Serialize a :class:`SuperTree` to a JSON string."""
+    return json.dumps(
+        {
+            "format": _FORMAT,
+            "type": "super_tree",
+            "kind": tree.kind,
+            "parent": tree.parent.tolist(),
+            "scalars": tree.scalars.tolist(),
+            "members": [m.tolist() for m in tree.members],
+        }
+    )
+
+
+def super_tree_from_json(text: str) -> SuperTree:
+    """Inverse of :func:`super_tree_to_json`."""
+    doc = json.loads(text)
+    _check(doc, "super_tree")
+    return SuperTree(
+        np.array(doc["scalars"], dtype=np.float64),
+        np.array(doc["parent"], dtype=np.int64),
+        [np.array(m, dtype=np.int64) for m in doc["members"]],
+        kind=doc["kind"],
+    )
+
+
+def save_tree(tree, path: PathLike) -> Path:
+    """Save either tree type to ``path`` (dispatch on type)."""
+    if isinstance(tree, SuperTree):
+        text = super_tree_to_json(tree)
+    elif isinstance(tree, ScalarTree):
+        text = scalar_tree_to_json(tree)
+    else:
+        raise TypeError("expected ScalarTree or SuperTree")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path
+
+
+def load_tree(path: PathLike):
+    """Load whichever tree type ``path`` holds."""
+    text = Path(path).read_text()
+    doc = json.loads(text)
+    if doc.get("type") == "super_tree":
+        return super_tree_from_json(text)
+    return scalar_tree_from_json(text)
+
+
+def _check(doc: dict, expected: str) -> None:
+    if doc.get("format") != _FORMAT:
+        raise ValueError(f"not a {_FORMAT} document")
+    if doc.get("type") != expected:
+        raise ValueError(
+            f"expected a {expected} document, got {doc.get('type')!r}"
+        )

@@ -1,0 +1,101 @@
+"""Disjoint-set (union-find) structures.
+
+Algorithm 1 and Algorithm 3 of the paper lean on union-find for their
+near-linear running time: the amortised cost per operation is
+O(α(n)) with path compression + union by size.  A no-compression variant
+is kept for the ablation bench (``bench_ablation_union_find``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["UnionFind", "NaiveUnionFind"]
+
+
+class UnionFind:
+    """Union-find with path halving and union by size.
+
+    Elements are the integers ``0..n-1``; every element starts in its own
+    singleton set.
+    """
+
+    __slots__ = ("parent", "size", "n_sets")
+
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+        self.size = [1] * n
+        self.n_sets = n
+
+    def find(self, x: int) -> int:
+        """Representative of the set containing ``x`` (with path halving)."""
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(self, x: int, y: int) -> int:
+        """Merge the sets of ``x`` and ``y``; return the new representative."""
+        rx, ry = self.find(x), self.find(y)
+        if rx == ry:
+            return rx
+        if self.size[rx] < self.size[ry]:
+            rx, ry = ry, rx
+        self.parent[ry] = rx
+        self.size[rx] += self.size[ry]
+        self.n_sets -= 1
+        return rx
+
+    def connected(self, x: int, y: int) -> bool:
+        """Whether ``x`` and ``y`` are currently in the same set."""
+        return self.find(x) == self.find(y)
+
+    def set_size(self, x: int) -> int:
+        """Size of the set containing ``x``."""
+        return self.size[self.find(x)]
+
+    def groups(self) -> List[List[int]]:
+        """All current sets, as lists keyed by discovery order."""
+        by_root: dict = {}
+        for x in range(len(self.parent)):
+            by_root.setdefault(self.find(x), []).append(x)
+        return list(by_root.values())
+
+    def __len__(self) -> int:
+        return len(self.parent)
+
+
+class NaiveUnionFind:
+    """Union-find *without* path compression or balancing.
+
+    Worst-case O(n) per find.  Exists only so the ablation bench can show
+    what the inverse-Ackermann bound buys on scalar-tree construction;
+    do not use it elsewhere.
+    """
+
+    __slots__ = ("parent", "n_sets")
+
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+        self.n_sets = n
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        while parent[x] != x:
+            x = parent[x]
+        return x
+
+    def union(self, x: int, y: int) -> int:
+        rx, ry = self.find(x), self.find(y)
+        if rx == ry:
+            return rx
+        self.parent[ry] = rx
+        self.n_sets -= 1
+        return rx
+
+    def connected(self, x: int, y: int) -> bool:
+        return self.find(x) == self.find(y)
+
+    def __len__(self) -> int:
+        return len(self.parent)

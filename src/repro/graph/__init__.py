@@ -1,0 +1,21 @@
+"""Graph substrate: CSR graphs, builders, I/O, generators, datasets."""
+
+from .builders import (
+    empty_graph,
+    from_edge_array,
+    from_edges,
+    from_networkx,
+    to_networkx,
+)
+from .csr import CSRGraph
+from .dual import line_graph
+
+__all__ = [
+    "CSRGraph",
+    "from_edges",
+    "from_edge_array",
+    "from_networkx",
+    "to_networkx",
+    "empty_graph",
+    "line_graph",
+]

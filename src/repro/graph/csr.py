@@ -1,0 +1,211 @@
+"""Compressed-sparse-row graph: the substrate all algorithms run on.
+
+The paper's algorithms (scalar-tree construction, k-core/k-truss peeling,
+centralities) are neighbourhood-scan heavy.  A CSR adjacency gives O(1)
+numpy-sliced neighbour access and keeps graphs with hundreds of thousands
+of edges tractable in pure Python.
+
+A :class:`CSRGraph` is simple, undirected (each edge stored in both
+directions), and immutable after construction.  Vertices are the integers
+``0..n-1``; an optional ``labels`` array maps them back to external ids.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """An immutable undirected graph in compressed-sparse-row form.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` array of length ``n + 1``; neighbours of vertex ``v`` are
+        ``indices[indptr[v]:indptr[v + 1]]``.
+    indices:
+        ``int64`` array of length ``2 * m`` (each undirected edge appears
+        twice, once per endpoint).
+    labels:
+        Optional array of external vertex labels, length ``n``.
+
+    Use :func:`repro.graph.builders.from_edges` to construct one from an
+    edge list; the raw constructor assumes the CSR invariants already hold.
+    """
+
+    __slots__ = ("indptr", "indices", "labels", "_edge_index")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        labels: Optional[np.ndarray] = None,
+    ) -> None:
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        if self.indptr.ndim != 1 or self.indptr[0] != 0:
+            raise ValueError("indptr must be 1-D and start at 0")
+        if self.indptr[-1] != len(self.indices):
+            raise ValueError("indptr[-1] must equal len(indices)")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if len(self.indices) and (
+            self.indices.min() < 0 or self.indices.max() >= self.n_vertices
+        ):
+            raise ValueError("indices reference vertices outside 0..n-1")
+        self.labels = None if labels is None else np.asarray(labels)
+        if self.labels is not None and len(self.labels) != self.n_vertices:
+            raise ValueError("labels must have one entry per vertex")
+        self._edge_index: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_vertices(self) -> int:
+        """Number of vertices."""
+        return len(self.indptr) - 1
+
+    @property
+    def n_edges(self) -> int:
+        """Number of undirected edges."""
+        return len(self.indices) // 2
+
+    def degree(self, v: Optional[int] = None):
+        """Degree of vertex ``v``, or the full degree vector if ``v is None``."""
+        if v is None:
+            return np.diff(self.indptr)
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Neighbours of ``v`` as a (read-only view of an) int64 array."""
+        return self.indices[self.indptr[v]: self.indptr[v + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``(u, v)`` exists.
+
+        Neighbour lists are sorted at construction, so this is a binary
+        search: O(log deg(u)).
+        """
+        nbrs = self.neighbors(u)
+        pos = np.searchsorted(nbrs, v)
+        return bool(pos < len(nbrs) and nbrs[pos] == v)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate each undirected edge once, as ``(u, v)`` with ``u < v``."""
+        for u in range(self.n_vertices):
+            for v in self.neighbors(u):
+                if u < v:
+                    yield u, int(v)
+
+    def edge_array(self) -> np.ndarray:
+        """All undirected edges once, as an ``(m, 2)`` array with ``u < v``."""
+        n = self.n_vertices
+        src = np.repeat(np.arange(n, dtype=np.int64), np.diff(self.indptr))
+        mask = src < self.indices
+        return np.column_stack([src[mask], self.indices[mask]])
+
+    def label_of(self, v: int):
+        """External label of internal vertex ``v`` (``v`` itself if unlabelled)."""
+        if self.labels is None:
+            return v
+        return self.labels[v]
+
+    # ------------------------------------------------------------------
+    # Edge ids
+    # ------------------------------------------------------------------
+    def edge_id(self, u: int, v: int) -> int:
+        """Dense id in ``0..m-1`` of the undirected edge ``(u, v)``.
+
+        Ids follow the order of :meth:`edge_array`.  Raises ``KeyError``
+        for non-edges.  The id map is built lazily on first use.
+        """
+        if self._edge_index is None:
+            pairs = self.edge_array()
+            self._edge_index = {
+                (int(a), int(b)): i for i, (a, b) in enumerate(pairs)
+            }
+        key = (u, v) if u < v else (v, u)
+        return self._edge_index[key]
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def subgraph(self, vertices: Sequence[int]) -> "CSRGraph":
+        """Induced subgraph on ``vertices`` (relabelled to ``0..k-1``).
+
+        The returned graph's ``labels`` hold the *original* internal ids
+        (composed with existing labels if any), so results map back.
+        """
+        verts = np.asarray(sorted(set(int(v) for v in vertices)), dtype=np.int64)
+        remap = -np.ones(self.n_vertices, dtype=np.int64)
+        remap[verts] = np.arange(len(verts))
+        rows = []
+        for v in verts:
+            nbrs = self.neighbors(v)
+            kept = remap[nbrs]
+            rows.append(np.sort(kept[kept >= 0]))
+        indptr = np.zeros(len(verts) + 1, dtype=np.int64)
+        indptr[1:] = np.cumsum([len(r) for r in rows])
+        indices = (
+            np.concatenate(rows) if rows else np.empty(0, dtype=np.int64)
+        )
+        if self.labels is not None:
+            labels = self.labels[verts]
+        else:
+            labels = verts
+        return CSRGraph(indptr, indices, labels=labels)
+
+    def connected_components(self) -> np.ndarray:
+        """Component id per vertex (ids are 0-based, order of discovery)."""
+        n = self.n_vertices
+        comp = -np.ones(n, dtype=np.int64)
+        next_id = 0
+        for start in range(n):
+            if comp[start] >= 0:
+                continue
+            comp[start] = next_id
+            stack = [start]
+            while stack:
+                u = stack.pop()
+                for w in self.neighbors(u):
+                    if comp[w] < 0:
+                        comp[w] = next_id
+                        stack.append(int(w))
+            next_id += 1
+        return comp
+
+    def n_components(self) -> int:
+        """Number of connected components."""
+        if self.n_vertices == 0:
+            return 0
+        return int(self.connected_components().max()) + 1
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.n_vertices
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.n_vertices))
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRGraph(n_vertices={self.n_vertices}, n_edges={self.n_edges})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return bool(
+            np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+        )
+
+    def __hash__(self):  # pragma: no cover - graphs are not hashable
+        raise TypeError("CSRGraph is not hashable")

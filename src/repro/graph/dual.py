@@ -1,0 +1,44 @@
+"""Edge-dual (line) graph construction.
+
+The *naive* edge-scalar-tree method of the paper converts the edge scalar
+graph ``G`` into its dual ``Gd`` — a vertex per edge of ``G``, adjacency
+when two edges share an endpoint — and then runs the vertex algorithm.
+The dual has ``sum(deg(v)^2)`` edges, which is the bottleneck the paper's
+Algorithm 3 removes; we keep the dual construction as the baseline for
+Table II's ``te`` column and for cross-validation tests.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .builders import from_edge_array
+from .csr import CSRGraph
+
+__all__ = ["line_graph"]
+
+
+def line_graph(graph: CSRGraph) -> Tuple[CSRGraph, np.ndarray]:
+    """Build the line graph (edge dual) of ``graph``.
+
+    Returns ``(dual, edge_pairs)`` where dual vertex ``i`` corresponds to
+    the undirected edge ``edge_pairs[i] = (u, v)`` of the input (the same
+    dense edge-id order as :meth:`CSRGraph.edge_array`).
+    """
+    edge_pairs = graph.edge_array()
+    m = len(edge_pairs)
+    # Incident edge ids per vertex.
+    incident = [[] for _ in range(graph.n_vertices)]
+    for eid, (u, v) in enumerate(edge_pairs):
+        incident[int(u)].append(eid)
+        incident[int(v)].append(eid)
+    dual_pairs = []
+    for eids in incident:
+        k = len(eids)
+        for a in range(k):
+            for b in range(a + 1, k):
+                dual_pairs.append((eids[a], eids[b]))
+    arr = np.array(dual_pairs, dtype=np.int64).reshape(-1, 2)
+    return from_edge_array(arr, n_vertices=m), edge_pairs

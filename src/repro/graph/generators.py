@@ -1,0 +1,308 @@
+"""Seeded random-graph generators.
+
+These supply the synthetic stand-ins for the paper's SNAP datasets (see
+DESIGN.md §3) and the workloads for property-based tests and ablation
+benches.  Every generator is deterministic given ``seed`` and returns a
+:class:`~repro.graph.csr.CSRGraph` (plus planted metadata where noted).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .builders import from_edge_array
+from .csr import CSRGraph
+
+__all__ = [
+    "erdos_renyi",
+    "barabasi_albert",
+    "ring_lattice",
+    "watts_strogatz",
+    "powerlaw_cluster",
+    "planted_partition",
+    "overlapping_communities",
+    "connected_caveman",
+    "hub_and_spoke",
+    "planted_cliques",
+    "nested_core",
+]
+
+
+def _dedup_edges(pairs: np.ndarray, n: int) -> np.ndarray:
+    """Drop self-loops and duplicates from an (m, 2) pair array."""
+    pairs = pairs[pairs[:, 0] != pairs[:, 1]]
+    lo = np.minimum(pairs[:, 0], pairs[:, 1])
+    hi = np.maximum(pairs[:, 0], pairs[:, 1])
+    canon = np.unique(lo * np.int64(n) + hi)
+    return np.column_stack([canon // n, canon % n])
+
+
+def erdos_renyi(n: int, m: int, seed: int = 0) -> CSRGraph:
+    """G(n, m): ``m`` distinct uniform random edges on ``n`` vertices."""
+    rng = np.random.default_rng(seed)
+    max_m = n * (n - 1) // 2
+    if m > max_m:
+        raise ValueError(f"requested {m} edges but only {max_m} possible")
+    edges = np.empty((0, 2), dtype=np.int64)
+    while len(edges) < m:
+        need = m - len(edges)
+        batch = rng.integers(0, n, size=(int(need * 1.5) + 8, 2))
+        edges = _dedup_edges(np.vstack([edges, batch]), n)
+    # Deterministic trim: keep the lexicographically first m edges.
+    return from_edge_array(edges[:m], n_vertices=n)
+
+
+def barabasi_albert(n: int, m_per_node: int, seed: int = 0) -> CSRGraph:
+    """Preferential attachment: each new vertex links to ``m_per_node`` targets."""
+    if n <= m_per_node:
+        raise ValueError("n must exceed m_per_node")
+    rng = np.random.default_rng(seed)
+    targets = list(range(m_per_node))
+    repeated: List[int] = []
+    pairs = []
+    for v in range(m_per_node, n):
+        for t in set(targets):
+            pairs.append((v, t))
+        repeated.extend(set(targets))
+        repeated.extend([v] * m_per_node)
+        targets = [repeated[i] for i in rng.integers(0, len(repeated), m_per_node)]
+    return from_edge_array(np.array(pairs, dtype=np.int64), n_vertices=n)
+
+
+def ring_lattice(n: int, k: int) -> CSRGraph:
+    """Ring of ``n`` vertices each joined to its ``k`` nearest on each side."""
+    pairs = [
+        (v, (v + offset) % n) for v in range(n) for offset in range(1, k + 1)
+    ]
+    return from_edge_array(np.array(pairs, dtype=np.int64), n_vertices=n)
+
+
+def watts_strogatz(n: int, k: int, p: float, seed: int = 0) -> CSRGraph:
+    """Small-world graph: ring lattice with each edge rewired w.p. ``p``."""
+    rng = np.random.default_rng(seed)
+    pairs = []
+    for v in range(n):
+        for offset in range(1, k + 1):
+            u = (v + offset) % n
+            if rng.random() < p:
+                u = int(rng.integers(0, n))
+            pairs.append((v, u))
+    return from_edge_array(np.array(pairs, dtype=np.int64), n_vertices=n)
+
+
+def powerlaw_cluster(n: int, m_per_node: int, p_triangle: float, seed: int = 0) -> CSRGraph:
+    """Holme–Kim power-law graph with tunable clustering.
+
+    Like Barabási–Albert but after each preferential attachment, with
+    probability ``p_triangle`` the next link closes a triangle with a
+    random neighbour of the previous target.  Used for the Astro and
+    Wikipedia/Cit-Patent stand-ins (heavy-tailed degrees, many triangles,
+    hence non-trivial k-core and k-truss structure).
+    """
+    if n <= m_per_node:
+        raise ValueError("n must exceed m_per_node")
+    rng = np.random.default_rng(seed)
+    repeated: List[int] = list(range(m_per_node))
+    adjacency: List[set] = [set() for _ in range(n)]
+    pairs = []
+
+    def add_edge(u: int, v: int) -> bool:
+        if u == v or v in adjacency[u]:
+            return False
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+        pairs.append((u, v))
+        repeated.append(u)
+        repeated.append(v)
+        return True
+
+    for v in range(m_per_node, n):
+        target = int(repeated[rng.integers(0, len(repeated))])
+        links = 0
+        guard = 0
+        while links < m_per_node and guard < 20 * m_per_node:
+            guard += 1
+            if add_edge(v, target):
+                links += 1
+            if links >= m_per_node:
+                break
+            if adjacency[target] and rng.random() < p_triangle:
+                candidates = list(adjacency[target])
+                nxt = int(candidates[rng.integers(0, len(candidates))])
+            else:
+                nxt = int(repeated[rng.integers(0, len(repeated))])
+            target = nxt
+    return from_edge_array(np.array(pairs, dtype=np.int64), n_vertices=n)
+
+
+def planted_partition(
+    sizes: Sequence[int],
+    p_in: float,
+    p_out: float,
+    seed: int = 0,
+) -> Tuple[CSRGraph, np.ndarray]:
+    """Blocks with dense internal and sparse external wiring.
+
+    Returns ``(graph, membership)`` where ``membership[v]`` is the planted
+    block id of vertex ``v``.
+    """
+    rng = np.random.default_rng(seed)
+    n = int(sum(sizes))
+    membership = np.zeros(n, dtype=np.int64)
+    starts = np.cumsum([0] + list(sizes))
+    for b, (lo, hi) in enumerate(zip(starts[:-1], starts[1:])):
+        membership[lo:hi] = b
+    pairs = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            p = p_in if membership[u] == membership[v] else p_out
+            if rng.random() < p:
+                pairs.append((u, v))
+    arr = np.array(pairs, dtype=np.int64).reshape(-1, 2)
+    return from_edge_array(arr, n_vertices=n), membership
+
+
+def overlapping_communities(
+    n_communities: int,
+    size: int,
+    overlap: int,
+    p_in,
+    p_out: float,
+    sub_blocks: int = 1,
+    seed: int = 0,
+) -> Tuple[CSRGraph, np.ndarray]:
+    """Overlapping community benchmark (DBLP stand-in, Figs 1(b)/8).
+
+    Communities are laid out on a chain; consecutive communities share
+    ``overlap`` vertices.  Each community may itself contain ``sub_blocks``
+    denser sub-blocks (the paper's "sub-communities": geographically
+    separated core-author groups that do not co-author across blocks).
+    ``p_in`` may be a single density or one per community —
+    heterogeneous densities give the communities distinct k-core levels
+    (as in the real DBLP, where the densest groups are disconnected).
+
+    Returns ``(graph, affiliation)`` with ``affiliation`` an
+    ``(n, n_communities)`` 0/1 matrix of planted memberships.
+    """
+    rng = np.random.default_rng(seed)
+    step = size - overlap
+    n = step * (n_communities - 1) + size if n_communities else 0
+    affiliation = np.zeros((n, n_communities), dtype=np.int64)
+    if np.isscalar(p_in):
+        p_in_values = [float(p_in)] * n_communities
+    else:
+        p_in_values = [float(p) for p in p_in]
+        if len(p_in_values) != n_communities:
+            raise ValueError("p_in must be scalar or one density per community")
+    pairs = []
+    for c in range(n_communities):
+        lo = c * step
+        members = np.arange(lo, lo + size)
+        affiliation[members, c] = 1
+        # Sub-block structure: denser wiring inside each sub-block.
+        block_of = (np.arange(size) * sub_blocks) // size
+        for i in range(size):
+            for j in range(i + 1, size):
+                same_block = block_of[i] == block_of[j]
+                p = p_in_values[c] if same_block else p_in_values[c] * 0.25
+                if rng.random() < p:
+                    pairs.append((members[i], members[j]))
+    # Background noise edges.
+    n_noise = int(p_out * n)
+    for _ in range(n_noise):
+        u, v = rng.integers(0, n, size=2)
+        pairs.append((int(u), int(v)))
+    arr = np.array(pairs, dtype=np.int64).reshape(-1, 2)
+    return from_edge_array(arr, n_vertices=n), affiliation
+
+
+def connected_caveman(n_cliques: int, clique_size: int) -> CSRGraph:
+    """``n_cliques`` cliques joined in a ring by single re-wired edges."""
+    pairs = []
+    for c in range(n_cliques):
+        lo = c * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                pairs.append((lo + i, lo + j))
+        nxt = ((c + 1) % n_cliques) * clique_size
+        pairs.append((lo, nxt))
+    n = n_cliques * clique_size
+    return from_edge_array(np.array(pairs, dtype=np.int64), n_vertices=n)
+
+
+def hub_and_spoke(n_spokes: int, spoke_length: int = 1) -> CSRGraph:
+    """A hub vertex 0 with ``n_spokes`` chains of ``spoke_length`` hanging off."""
+    pairs = []
+    v = 1
+    for _ in range(n_spokes):
+        prev = 0
+        for _ in range(spoke_length):
+            pairs.append((prev, v))
+            prev = v
+            v += 1
+    return from_edge_array(np.array(pairs, dtype=np.int64), n_vertices=v)
+
+
+def planted_cliques(
+    background_n: int,
+    background_m: int,
+    clique_sizes: Sequence[int],
+    attach_edges: int = 2,
+    seed: int = 0,
+) -> Tuple[CSRGraph, List[np.ndarray]]:
+    """Sparse background plus disjoint planted cliques (GrQc stand-in).
+
+    Each clique is attached to the background by ``attach_edges`` random
+    edges, so cliques are *disconnected from each other* at high α — the
+    paper's "several disconnected dense K-cores" trait of GrQc.
+
+    Returns ``(graph, clique_members)``.
+    """
+    rng = np.random.default_rng(seed)
+    total = background_n + int(sum(clique_sizes))
+    base = erdos_renyi(background_n, background_m, seed=seed)
+    pairs = list(map(tuple, base.edge_array()))
+    cliques = []
+    v = background_n
+    for size in clique_sizes:
+        members = np.arange(v, v + size)
+        cliques.append(members)
+        for i in range(size):
+            for j in range(i + 1, size):
+                pairs.append((int(members[i]), int(members[j])))
+        for _ in range(attach_edges):
+            anchor = int(rng.integers(0, background_n))
+            inside = int(members[rng.integers(0, size)])
+            pairs.append((anchor, inside))
+        v += size
+    arr = np.array(pairs, dtype=np.int64)
+    return from_edge_array(arr, n_vertices=total), cliques
+
+
+def nested_core(
+    n_layers: int,
+    layer_size: int,
+    p_core: float = 0.9,
+    decay: float = 0.55,
+    seed: int = 0,
+) -> CSRGraph:
+    """Onion graph: one dense core with density decaying outward.
+
+    Layer 0 is near-clique; each outer layer is wired to itself and to all
+    inner layers with geometrically decaying probability.  Its k-core
+    field has a *single* dominant peak (the paper's Wikivote trait).
+    """
+    rng = np.random.default_rng(seed)
+    n = n_layers * layer_size
+    layer = np.arange(n) // layer_size
+    pairs = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            depth = max(layer[u], layer[v])
+            p = p_core * (decay ** depth)
+            if rng.random() < p:
+                pairs.append((u, v))
+    arr = np.array(pairs, dtype=np.int64).reshape(-1, 2)
+    return from_edge_array(arr, n_vertices=n)

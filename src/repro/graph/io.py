@@ -1,0 +1,109 @@
+"""Edge-list and scalar-field file I/O.
+
+The formats mirror the SNAP collection the paper draws its datasets from:
+whitespace-separated integer pairs, ``#`` comments.  Scalar fields are
+stored one ``vertex value`` (or ``u v value`` for edge fields) per line.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Tuple, Union
+
+import numpy as np
+
+from .builders import from_edge_array
+from .csr import CSRGraph
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "read_vertex_scalars",
+    "write_vertex_scalars",
+    "read_edge_scalars",
+    "write_edge_scalars",
+]
+
+PathLike = Union[str, Path]
+
+
+def read_edge_list(path: PathLike, n_vertices: int = None) -> CSRGraph:
+    """Read a SNAP-style edge list (``u v`` per line, ``#`` comments)."""
+    pairs = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            u, v = line.split()[:2]
+            pairs.append((int(u), int(v)))
+    arr = np.array(pairs, dtype=np.int64).reshape(-1, 2)
+    return from_edge_array(arr, n_vertices=n_vertices)
+
+
+def write_edge_list(graph: CSRGraph, path: PathLike, header: str = "") -> None:
+    """Write each undirected edge once (``u v`` per line)."""
+    with open(path, "w") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")
+
+
+def read_vertex_scalars(path: PathLike, n_vertices: int) -> np.ndarray:
+    """Read a ``vertex value`` file into a dense float vector."""
+    values = np.zeros(n_vertices, dtype=np.float64)
+    seen = np.zeros(n_vertices, dtype=bool)
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            v, value = line.split()[:2]
+            values[int(v)] = float(value)
+            seen[int(v)] = True
+    if not seen.all():
+        missing = int((~seen).sum())
+        raise ValueError(f"{missing} vertices have no scalar value")
+    return values
+
+
+def write_vertex_scalars(values: np.ndarray, path: PathLike) -> None:
+    """Write a vertex scalar field, one ``vertex value`` line each."""
+    with open(path, "w") as handle:
+        for v, value in enumerate(values):
+            handle.write(f"{v} {value:.10g}\n")
+
+
+def read_edge_scalars(
+    path: PathLike, graph: CSRGraph
+) -> np.ndarray:
+    """Read a ``u v value`` file into a vector aligned with edge ids."""
+    values = np.zeros(graph.n_edges, dtype=np.float64)
+    seen = np.zeros(graph.n_edges, dtype=bool)
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            u, v, value = line.split()[:3]
+            eid = graph.edge_id(int(u), int(v))
+            values[eid] = float(value)
+            seen[eid] = True
+    if not seen.all():
+        missing = int((~seen).sum())
+        raise ValueError(f"{missing} edges have no scalar value")
+    return values
+
+
+def write_edge_scalars(
+    graph: CSRGraph, values: np.ndarray, path: PathLike
+) -> None:
+    """Write an edge scalar field, one ``u v value`` line per edge."""
+    if len(values) != graph.n_edges:
+        raise ValueError("one value per edge required")
+    with open(path, "w") as handle:
+        for (u, v), value in zip(graph.edge_array(), values):
+            handle.write(f"{u} {v} {value:.10g}\n")

@@ -1,0 +1,49 @@
+"""Graph measures: cores, trusses, triangles, centralities, communities, roles."""
+
+from .centrality import (
+    betweenness_centrality,
+    eigenvector_centrality,
+    closeness_centrality,
+    degree_centrality,
+    harmonic_centrality,
+    pagerank,
+)
+from .community import bigclam, community_scores, label_propagation
+from .kcore import core_numbers, degeneracy, k_core_subgraph
+from .ktruss import k_truss_edges, max_truss, truss_numbers
+from .roles import ROLE_NAMES, extract_roles, kmeans, role_affinities, role_features
+from .triangles import (
+    average_clustering,
+    clustering_coefficients,
+    edge_supports,
+    total_triangles,
+    vertex_triangles,
+)
+
+__all__ = [
+    "core_numbers",
+    "k_core_subgraph",
+    "degeneracy",
+    "truss_numbers",
+    "k_truss_edges",
+    "max_truss",
+    "edge_supports",
+    "vertex_triangles",
+    "total_triangles",
+    "clustering_coefficients",
+    "average_clustering",
+    "degree_centrality",
+    "closeness_centrality",
+    "harmonic_centrality",
+    "pagerank",
+    "betweenness_centrality",
+    "eigenvector_centrality",
+    "bigclam",
+    "community_scores",
+    "label_propagation",
+    "ROLE_NAMES",
+    "role_features",
+    "kmeans",
+    "extract_roles",
+    "role_affinities",
+]

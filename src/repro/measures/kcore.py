@@ -1,0 +1,80 @@
+"""K-core decomposition (Batagelj–Zaversnik O(m) peeling).
+
+``KC(v)`` — the paper's notation for the largest K such that v belongs
+to a K-core (Definition 4).  Used as the vertex scalar field for the
+dense-subgraph terrains (Figs 1(a), 6, 7) and, by Proposition 4, every
+maximal α-connected component of the KC field is a K-core with K = α.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+__all__ = ["core_numbers", "k_core_subgraph", "degeneracy"]
+
+
+def core_numbers(graph: CSRGraph) -> np.ndarray:
+    """``KC(v)`` for every vertex, via bucket peeling in O(m).
+
+    Repeatedly removes a minimum-degree vertex; a vertex's core number
+    is its degree at removal time (made monotone over the peel).
+    """
+    n = graph.n_vertices
+    degree = graph.degree().astype(np.int64)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    max_deg = int(degree.max())
+
+    # Bucket sort vertices by degree.
+    bin_start = np.zeros(max_deg + 2, dtype=np.int64)
+    for d in degree:
+        bin_start[d + 1] += 1
+    bin_start = np.cumsum(bin_start)
+    pos = np.empty(n, dtype=np.int64)
+    vert = np.empty(n, dtype=np.int64)
+    fill = bin_start[:-1].copy()
+    for v in range(n):
+        pos[v] = fill[degree[v]]
+        vert[pos[v]] = v
+        fill[degree[v]] += 1
+
+    core = degree.copy()
+    bin_ptr = bin_start[:-1].copy()  # start index of each degree bucket
+    indptr = graph.indptr.tolist()
+    indices = graph.indices.tolist()
+    core_list = core.tolist()
+    pos_list = pos.tolist()
+    vert_list = vert.tolist()
+    bin_list = bin_ptr.tolist()
+
+    for i in range(n):
+        v = vert_list[i]
+        dv = core_list[v]
+        for p in range(indptr[v], indptr[v + 1]):
+            u = indices[p]
+            du = core_list[u]
+            if du > dv:
+                # Move u to the front of its bucket, then shrink it.
+                pu = pos_list[u]
+                front = bin_list[du]
+                w = vert_list[front]
+                if u != w:
+                    vert_list[front], vert_list[pu] = u, w
+                    pos_list[u], pos_list[w] = front, pu
+                bin_list[du] += 1
+                core_list[u] = du - 1
+    return np.array(core_list, dtype=np.int64)
+
+
+def k_core_subgraph(graph: CSRGraph, k: int) -> np.ndarray:
+    """Vertices of the (maximal) K-core: all v with ``KC(v) >= k``."""
+    return np.flatnonzero(core_numbers(graph) >= k)
+
+
+def degeneracy(graph: CSRGraph) -> int:
+    """The graph's degeneracy — the largest K with a non-empty K-core."""
+    if graph.n_vertices == 0:
+        return 0
+    return int(core_numbers(graph).max())

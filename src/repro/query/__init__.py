@@ -1,0 +1,5 @@
+"""Query-result visualization: NN graphs over tabular data."""
+
+from .nngraph import knn_graph, plant_query_table, radius_graph
+
+__all__ = ["knn_graph", "radius_graph", "plant_query_table"]

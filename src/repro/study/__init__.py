@@ -1,0 +1,37 @@
+"""Simulated user study (Tables IV-VI)."""
+
+from .harness import (
+    StudyRow,
+    format_table,
+    run_full_study,
+    run_task1,
+    run_task2,
+    run_task3,
+)
+from .participants import SimulatedParticipant
+from .signals import (
+    VisualSignal,
+    lanet_vi_target_signal,
+    occlusion_fraction,
+    openord_correlation_signal,
+    openord_target_signal,
+    terrain_correlation_signal,
+    terrain_target_signal,
+)
+
+__all__ = [
+    "StudyRow",
+    "run_task1",
+    "run_task2",
+    "run_task3",
+    "run_full_study",
+    "format_table",
+    "SimulatedParticipant",
+    "VisualSignal",
+    "terrain_target_signal",
+    "lanet_vi_target_signal",
+    "openord_target_signal",
+    "terrain_correlation_signal",
+    "openord_correlation_signal",
+    "occlusion_fraction",
+]

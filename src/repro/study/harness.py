@@ -1,0 +1,203 @@
+"""User-study harness: regenerates Tables IV, V and VI.
+
+For each (dataset, method) cell the harness builds the *actual*
+visualization artifact, measures the task's visual signal on it, and
+runs ten seeded simulated participants.  Outputs match the paper's
+table shape: per-dataset accuracy and mean completion time per method.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from ..baselines.lanet_vi import lanet_vi_layout
+from ..baselines.openord import openord_layout
+from ..core.scalar_graph import ScalarGraph
+from ..core.scalar_tree import build_vertex_tree
+from ..core.super_tree import SuperTree, build_super_tree
+from ..graph import datasets as dataset_registry
+from ..graph.csr import CSRGraph
+from ..measures.centrality import betweenness_centrality, degree_centrality
+from ..measures.kcore import core_numbers
+from ..terrain.layout2d import TerrainLayout, layout_tree
+from ..terrain.render import node_colors_from_item_values
+from .participants import SimulatedParticipant
+from .signals import (
+    VisualSignal,
+    lanet_vi_target_signal,
+    openord_correlation_signal,
+    openord_target_signal,
+    terrain_correlation_signal,
+    terrain_target_signal,
+)
+
+__all__ = ["StudyRow", "run_task1", "run_task2", "run_task3", "run_full_study"]
+
+_TASK12_DATASETS = ("grqc", "ppi", "dblp")
+_N_PARTICIPANTS = 10
+
+
+@dataclass(frozen=True)
+class StudyRow:
+    """One table cell group: a dataset × method outcome."""
+
+    task: int
+    dataset: str
+    method: str
+    accuracy: float
+    mean_time: float
+
+
+def _terrain_artifacts(graph: CSRGraph) -> (SuperTree, TerrainLayout):
+    core = core_numbers(graph).astype(np.float64)
+    tree = build_super_tree(build_vertex_tree(ScalarGraph(graph, core)))
+    return tree, layout_tree(tree)
+
+
+def _simulate(
+    task: int,
+    dataset: str,
+    method: str,
+    signal: VisualSignal,
+    n_participants: int,
+    seed: int,
+) -> StudyRow:
+    correct = 0
+    times: List[float] = []
+    for p in range(n_participants):
+        # zlib.crc32 is stable across processes (builtin hash() is salted).
+        key = f"{task}|{dataset}|{method}|{p}|{seed}".encode()
+        participant = SimulatedParticipant(seed=zlib.crc32(key))
+        ok, seconds = participant.attempt(signal)
+        correct += int(ok)
+        times.append(seconds)
+    return StudyRow(
+        task=task,
+        dataset=dataset,
+        method=method,
+        accuracy=correct / n_participants,
+        mean_time=float(np.mean(times)),
+    )
+
+
+def _core_target_rows(
+    task: int,
+    rank: int,
+    names: Sequence[str],
+    n_participants: int,
+    seed: int,
+) -> List[StudyRow]:
+    rows: List[StudyRow] = []
+    for name in names:
+        graph = dataset_registry.load(name).graph
+        core = core_numbers(graph)
+
+        tree, layout = _terrain_artifacts(graph)
+        rows.append(
+            _simulate(
+                task, name, "terrain",
+                terrain_target_signal(tree, layout, rank=rank),
+                n_participants, seed,
+            )
+        )
+
+        __, lanet_core = lanet_vi_layout(graph, seed=seed)
+        rows.append(
+            _simulate(
+                task, name, "lanet_vi",
+                lanet_vi_target_signal(graph, lanet_core, rank=rank),
+                n_participants, seed,
+            )
+        )
+
+        positions = openord_layout(graph, seed=seed)
+        rows.append(
+            _simulate(
+                task, name, "openord",
+                openord_target_signal(
+                    graph, core.astype(np.float64), positions, rank=rank
+                ),
+                n_participants, seed,
+            )
+        )
+    return rows
+
+
+def run_task1(
+    names: Sequence[str] = _TASK12_DATASETS,
+    n_participants: int = _N_PARTICIPANTS,
+    seed: int = 0,
+) -> List[StudyRow]:
+    """Table IV: identify the densest K-core (3 datasets × 3 methods)."""
+    return _core_target_rows(1, 1, names, n_participants, seed)
+
+
+def run_task2(
+    names: Sequence[str] = _TASK12_DATASETS,
+    n_participants: int = _N_PARTICIPANTS,
+    seed: int = 0,
+) -> List[StudyRow]:
+    """Table V: identify the densest K-core *disconnected from* the
+    densest (3 datasets × 3 methods)."""
+    return _core_target_rows(2, 2, names, n_participants, seed)
+
+
+def run_task3(
+    name: str = "astro",
+    n_participants: int = _N_PARTICIPANTS,
+    seed: int = 0,
+    betweenness_samples: int = 256,
+) -> List[StudyRow]:
+    """Table VI: judge the correlation of betweenness (terrain height /
+    node colour) and degree (terrain colour / node size) on Astro."""
+    graph = dataset_registry.load(name).graph
+    degree = degree_centrality(graph, normalized=False)
+    betw = betweenness_centrality(graph, samples=betweenness_samples, seed=seed)
+
+    tree = build_super_tree(build_vertex_tree(ScalarGraph(graph, betw)))
+    node_deg = np.array(
+        [degree[m].mean() if len(m) else 0.0 for m in tree.members]
+    )
+    terrain_signal = terrain_correlation_signal(tree, node_deg)
+
+    positions = openord_layout(graph, seed=seed)
+    openord_signal = openord_correlation_signal(betw, degree, positions)
+
+    return [
+        _simulate(3, name, "terrain", terrain_signal, n_participants, seed),
+        _simulate(3, name, "openord", openord_signal, n_participants, seed),
+    ]
+
+
+def run_full_study(seed: int = 0) -> Dict[int, List[StudyRow]]:
+    """All three tasks; keys are task numbers."""
+    return {
+        1: run_task1(seed=seed),
+        2: run_task2(seed=seed),
+        3: run_task3(seed=seed),
+    }
+
+
+def format_table(rows: Iterable[StudyRow]) -> str:
+    """Pretty-print study rows in the paper's table layout."""
+    rows = list(rows)
+    methods = sorted({r.method for r in rows})
+    names = []
+    for r in rows:
+        if r.dataset not in names:
+            names.append(r.dataset)
+    header = "dataset    " + "".join(
+        f"{m:>12}_acc {m:>12}_time" for m in methods
+    )
+    lines = [header]
+    for name in names:
+        cells = []
+        for m in methods:
+            row = next(r for r in rows if r.dataset == name and r.method == m)
+            cells.append(f"{row.accuracy:>16.2f} {row.mean_time:>16.1f}")
+        lines.append(f"{name:<10}" + "".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Terrain-metaphor visualization of scalar trees."""
+
+from .camera import Camera
+from .colormap import (
+    intensity_ramp,
+    quartile_colors,
+    rgb_to_hex,
+    role_colors,
+)
+from .heightfield import Heightfield, rasterize
+from .layout2d import TerrainLayout, layout_tree
+from .mesh import TerrainMesh, build_mesh
+from .export import export_obj, export_svg3d, orbit_frames
+from .profile import profile_intervals, profile_svg
+from .peaks import LinkedSelection, Peak, highest_peaks, peaks_at, select_region
+from .render import (
+    node_colors_categorical,
+    node_colors_from_item_values,
+    render_mesh,
+    render_terrain,
+    save_png,
+    save_ppm,
+)
+from .svg import SVGCanvas
+from .treemap import treemap_svg
+
+__all__ = [
+    "Camera",
+    "TerrainLayout",
+    "layout_tree",
+    "Heightfield",
+    "rasterize",
+    "TerrainMesh",
+    "build_mesh",
+    "render_mesh",
+    "render_terrain",
+    "node_colors_from_item_values",
+    "node_colors_categorical",
+    "save_png",
+    "save_ppm",
+    "Peak",
+    "peaks_at",
+    "highest_peaks",
+    "select_region",
+    "LinkedSelection",
+    "treemap_svg",
+    "profile_svg",
+    "profile_intervals",
+    "export_obj",
+    "export_svg3d",
+    "orbit_frames",
+    "SVGCanvas",
+    "intensity_ramp",
+    "quartile_colors",
+    "role_colors",
+    "rgb_to_hex",
+]

@@ -1,0 +1,110 @@
+"""Orbit camera for the software 3D renderer.
+
+Implements the paper's *rotate* and *zoom in/out* interactions: the
+camera orbits the terrain centre at a given azimuth/elevation/distance
+and projects perspectively onto the image plane.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["Camera"]
+
+
+@dataclass(frozen=True)
+class Camera:
+    """An orbiting perspective camera.
+
+    Attributes
+    ----------
+    azimuth:
+        Rotation around the vertical axis, degrees.
+    elevation:
+        Angle above the ground plane, degrees.
+    distance:
+        Distance from the orbit target (zoom: smaller = closer).
+    target:
+        World-space point the camera looks at.
+    fov:
+        Vertical field of view, degrees.
+    """
+
+    azimuth: float = 35.0
+    elevation: float = 38.0
+    distance: float = 3.2
+    target: Tuple[float, float, float] = (0.0, 0.0, 0.2)
+    fov: float = 42.0
+
+    def rotated(self, d_azimuth: float = 0.0, d_elevation: float = 0.0) -> "Camera":
+        """A new camera rotated by the given angular deltas (degrees)."""
+        return replace(
+            self,
+            azimuth=self.azimuth + d_azimuth,
+            elevation=min(max(self.elevation + d_elevation, 2.0), 88.0),
+        )
+
+    def zoomed(self, factor: float) -> "Camera":
+        """A new camera with distance scaled by ``factor`` (<1 zooms in)."""
+        if factor <= 0:
+            raise ValueError("zoom factor must be positive")
+        return replace(self, distance=self.distance * factor)
+
+    @property
+    def position(self) -> np.ndarray:
+        """World-space camera position."""
+        az = math.radians(self.azimuth)
+        el = math.radians(self.elevation)
+        tx, ty, tz = self.target
+        return np.array(
+            [
+                tx + self.distance * math.cos(el) * math.cos(az),
+                ty + self.distance * math.cos(el) * math.sin(az),
+                tz + self.distance * math.sin(el),
+            ]
+        )
+
+    def view_basis(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Right/up/forward unit vectors of the view frame."""
+        eye = self.position
+        forward = np.asarray(self.target, dtype=np.float64) - eye
+        forward /= np.linalg.norm(forward)
+        world_up = np.array([0.0, 0.0, 1.0])
+        right = np.cross(forward, world_up)
+        norm = np.linalg.norm(right)
+        if norm < 1e-9:  # looking straight down
+            right = np.array([1.0, 0.0, 0.0])
+        else:
+            right /= norm
+        up = np.cross(right, forward)
+        return right, up, forward
+
+    def project(
+        self, points: np.ndarray, width: int, height: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Project world points (N, 3) to pixel coordinates.
+
+        Returns ``(xy, depth)`` where ``xy`` is (N, 2) pixel positions
+        and ``depth`` the view-space distance along the camera forward
+        axis (used by the z-buffer).  Points behind the camera receive
+        depth <= 0 and should be culled by the caller.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        eye = self.position
+        right, up, forward = self.view_basis()
+        rel = points - eye
+        x_cam = rel @ right
+        y_cam = rel @ up
+        depth = rel @ forward
+        f = 1.0 / math.tan(math.radians(self.fov) / 2)
+        safe = np.where(depth > 1e-9, depth, 1e-9)
+        ndc_x = f * x_cam / safe
+        ndc_y = f * y_cam / safe
+        aspect = width / height
+        px = (ndc_x / aspect + 1.0) * 0.5 * width
+        py = (1.0 - ndc_y) * 0.5 * height
+        return np.column_stack([px, py]), depth

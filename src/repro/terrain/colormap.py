@@ -1,0 +1,85 @@
+"""Colour ramps for terrain and treemap displays.
+
+The paper's convention (§III): colour encodes measure intensity, ranging
+over red (most intense) → yellow → green → blue (least intense).  Role
+colouring (Fig 9) uses categorical colours: hub = green, dense community
+member = blue, periphery = red.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "intensity_ramp",
+    "quartile_colors",
+    "role_colors",
+    "rgb_to_hex",
+    "BLUE",
+    "GREEN",
+    "YELLOW",
+    "RED",
+]
+
+Color = Tuple[float, float, float]
+
+BLUE: Color = (0.20, 0.35, 0.85)
+GREEN: Color = (0.25, 0.70, 0.30)
+YELLOW: Color = (0.95, 0.85, 0.20)
+RED: Color = (0.90, 0.15, 0.10)
+
+_RAMP = np.array([BLUE, GREEN, YELLOW, RED])
+
+# Fig 9's categorical role colours, indexed by repro.measures.ROLE_NAMES
+# order (hub, dense, periphery, whisker).
+_ROLE_COLORS = np.array(
+    [
+        GREEN,            # hub
+        BLUE,             # dense community member
+        RED,              # periphery
+        (0.55, 0.30, 0.65),  # whisker (not shown in the paper; distinct)
+    ]
+)
+
+
+def intensity_ramp(values: np.ndarray) -> np.ndarray:
+    """Map values to the blue→green→yellow→red ramp, (n, 3) floats in [0,1].
+
+    Values are min-max normalised; a constant field maps to green.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    lo, hi = float(values.min()), float(values.max())
+    if hi == lo:
+        t = np.full(len(values), 0.5)
+    else:
+        t = (values - lo) / (hi - lo)
+    # Piecewise-linear interpolation across the 4 ramp anchors.
+    x = t * (len(_RAMP) - 1)
+    i = np.clip(x.astype(np.int64), 0, len(_RAMP) - 2)
+    frac = (x - i)[:, None]
+    return _RAMP[i] * (1 - frac) + _RAMP[i + 1] * frac
+
+
+def quartile_colors(values: np.ndarray) -> np.ndarray:
+    """Map values to 4 discrete colours by quartile (2D treemap style):
+    top quartile red, then yellow, green, bottom quartile blue."""
+    values = np.asarray(values, dtype=np.float64)
+    qs = np.quantile(values, [0.25, 0.5, 0.75])
+    idx = np.searchsorted(qs, values, side="right")  # 0..3 (low..high)
+    return _RAMP[idx]
+
+
+def role_colors(roles: np.ndarray) -> np.ndarray:
+    """Categorical colours for role labels 0..3 (hub/dense/periphery/whisker)."""
+    roles = np.asarray(roles, dtype=np.int64)
+    if roles.size and (roles.min() < 0 or roles.max() > 3):
+        raise ValueError("role labels must lie in 0..3")
+    return _ROLE_COLORS[roles]
+
+
+def rgb_to_hex(color) -> str:
+    """``(r, g, b)`` floats in [0, 1] → ``#rrggbb``."""
+    r, g, b = (int(round(255 * float(c))) for c in color)
+    return f"#{r:02x}{g:02x}{b:02x}"

@@ -1,0 +1,132 @@
+"""Rasterize a nested-disc layout into a regular heightfield.
+
+The terrain surface of the paper (Fig 4(c)) is the function that assigns
+to every point of the 2D layout the scalar value of the *deepest*
+boundary containing it; "walls" between a parent and a child boundary
+are the resulting height discontinuities.  A regular-grid sampling of
+this function is simple to build (paint discs parents-first), trivially
+correct, and feeds both the 3D renderer and image-space analyses
+(peak saliency in the user-study simulator).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .layout2d import TerrainLayout
+
+__all__ = ["Heightfield", "rasterize"]
+
+
+class Heightfield:
+    """Grid sampling of the terrain function.
+
+    Attributes
+    ----------
+    height:
+        ``(res, res)`` float array of terrain heights.  Cells outside
+        every root boundary sit at :attr:`base` (just below the minimum
+        scalar, so the ground plane reads as "no component").
+    node:
+        ``(res, res)`` int array — deepest super node id per cell, −1
+        outside.
+    extent:
+        ``(xmin, ymin, xmax, ymax)`` of the layout mapped onto the grid.
+    base:
+        Ground-plane height.
+    """
+
+    __slots__ = ("height", "node", "extent", "base")
+
+    def __init__(
+        self,
+        height: np.ndarray,
+        node: np.ndarray,
+        extent: Tuple[float, float, float, float],
+        base: float,
+    ) -> None:
+        self.height = height
+        self.node = node
+        self.extent = extent
+        self.base = base
+
+    @property
+    def resolution(self) -> int:
+        return self.height.shape[0]
+
+    def grid_to_world(self, i: float, j: float) -> Tuple[float, float]:
+        """Map fractional grid coordinates (row i, col j) to layout x, y."""
+        xmin, ymin, xmax, ymax = self.extent
+        res = self.resolution
+        x = xmin + (j + 0.5) / res * (xmax - xmin)
+        y = ymin + (i + 0.5) / res * (ymax - ymin)
+        return x, y
+
+    def world_to_grid(self, x: float, y: float) -> Tuple[int, int]:
+        """Map layout coordinates to the nearest grid cell (row, col)."""
+        xmin, ymin, xmax, ymax = self.extent
+        res = self.resolution
+        j = int((x - xmin) / (xmax - xmin) * res)
+        i = int((y - ymin) / (ymax - ymin) * res)
+        return min(max(i, 0), res - 1), min(max(j, 0), res - 1)
+
+
+def rasterize(layout: TerrainLayout, resolution: int = 160) -> Heightfield:
+    """Paint the layout's discs, parents before children.
+
+    Children overwrite their parents, so each cell ends at the deepest
+    containing boundary — exactly the terrain function.  O(nodes × disc
+    pixels), vectorised per disc.
+    """
+    if resolution < 4:
+        raise ValueError("resolution must be >= 4")
+    tree = layout.tree
+    xmin, ymin, xmax, ymax = layout.extent
+    span_x = xmax - xmin
+    span_y = ymax - ymin
+    res = resolution
+    scalars = tree.scalars
+    spread = float(scalars.max() - scalars.min())
+    base = float(scalars.min()) - (0.05 * spread if spread > 0 else 1.0)
+    height = np.full((res, res), base)
+    node = np.full((res, res), -1, dtype=np.int64)
+
+    # Cell-centre coordinate axes.
+    xs = xmin + (np.arange(res) + 0.5) / res * span_x
+    ys = ymin + (np.arange(res) + 0.5) / res * span_y
+
+    order = []
+    stack = list(tree.roots)
+    while stack:
+        cur = stack.pop()
+        order.append(cur)
+        stack.extend(tree.children(cur))
+
+    for nid in order:
+        cx, cy, r = layout.cx[nid], layout.cy[nid], layout.r[nid]
+        j_lo = int(np.searchsorted(xs, cx - r))
+        j_hi = int(np.searchsorted(xs, cx + r))
+        i_lo = int(np.searchsorted(ys, cy - r))
+        i_hi = int(np.searchsorted(ys, cy + r))
+        if j_lo >= j_hi or i_lo >= i_hi:
+            # Sub-pixel disc: stamp its nearest cell so tiny leaves
+            # still register (the paper draws them as points).
+            i, j = np.clip(
+                [int((cy - ymin) / span_y * res), int((cx - xmin) / span_x * res)],
+                0,
+                res - 1,
+            )
+            if scalars[nid] >= height[i, j]:
+                height[i, j] = scalars[nid]
+                node[i, j] = nid
+            continue
+        sub_x = xs[j_lo:j_hi] - cx
+        sub_y = ys[i_lo:i_hi] - cy
+        mask = (sub_x[None, :] ** 2 + sub_y[:, None] ** 2) <= r * r
+        block_h = height[i_lo:i_hi, j_lo:j_hi]
+        block_n = node[i_lo:i_hi, j_lo:j_hi]
+        block_h[mask] = scalars[nid]
+        block_n[mask] = nid
+    return Heightfield(height, node, layout.extent, base)

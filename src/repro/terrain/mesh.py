@@ -1,0 +1,111 @@
+"""Triangle-mesh generation from a heightfield.
+
+Turns the grid sampling of the terrain function into renderable
+geometry: one vertex per grid cell centre, two triangles per grid quad.
+Face colours come from a per-super-node colour table (intensity of the
+primary measure by default, or any second measure / nominal attribute,
+as in the paper's multi-field colouring).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .heightfield import Heightfield
+
+__all__ = ["TerrainMesh", "build_mesh"]
+
+
+@dataclass
+class TerrainMesh:
+    """Indexed triangle mesh with per-face colours.
+
+    Attributes
+    ----------
+    vertices:
+        ``(n, 3)`` world-space positions (x, y in [−1, 1] footprint,
+        z = scaled height).
+    faces:
+        ``(m, 3)`` vertex indices.
+    face_colors:
+        ``(m, 3)`` RGB floats in [0, 1].
+    face_nodes:
+        ``(m,)`` super-node id that coloured each face (−1 = ground).
+    """
+
+    vertices: np.ndarray
+    faces: np.ndarray
+    face_colors: np.ndarray
+    face_nodes: np.ndarray
+
+    @property
+    def n_faces(self) -> int:
+        return len(self.faces)
+
+
+def build_mesh(
+    hf: Heightfield,
+    node_colors: Optional[np.ndarray] = None,
+    z_scale: float = 0.55,
+    ground_color=(0.82, 0.80, 0.76),
+) -> TerrainMesh:
+    """Build a renderable mesh from a heightfield.
+
+    Parameters
+    ----------
+    hf:
+        The rasterized terrain.
+    node_colors:
+        ``(n_super_nodes, 3)`` RGB table; faces take the colour of the
+        highest-corner cell's node.  Default: warm grey ground and a
+        height-based intensity ramp is the caller's job (pass colours).
+    z_scale:
+        Height of the tallest peak in world units (footprint is 2×2).
+    ground_color:
+        Colour of cells outside every boundary.
+    """
+    height = hf.height
+    node = hf.node
+    res = hf.resolution
+    lo = float(height.min())
+    hi = float(height.max())
+    span = hi - lo if hi > lo else 1.0
+
+    # Vertex grid in world space: footprint [-1, 1] x [-1, 1].
+    ij = np.linspace(-1.0, 1.0, res)
+    xv, yv = np.meshgrid(ij, ij)
+    zv = (height - lo) / span * z_scale
+    vertices = np.column_stack([xv.ravel(), -yv.ravel(), zv.ravel()])
+
+    # Two triangles per quad.
+    idx = np.arange(res * res).reshape(res, res)
+    a = idx[:-1, :-1].ravel()
+    b = idx[:-1, 1:].ravel()
+    c = idx[1:, :-1].ravel()
+    d = idx[1:, 1:].ravel()
+    faces = np.concatenate(
+        [np.column_stack([a, b, c]), np.column_stack([b, d, c])]
+    )
+
+    # Face node: the corner cell with maximum height wins, so walls take
+    # the colour of the boundary they belong to (paper §II-E footnote).
+    cells = np.stack([a, b, c, d])  # flattened cell ids per quad
+    quad_heights = height.ravel()[cells]
+    winner = cells[quad_heights.argmax(axis=0), np.arange(len(a))]
+    quad_nodes = node.ravel()[winner]
+    face_nodes = np.concatenate([quad_nodes, quad_nodes])
+
+    ground = np.asarray(ground_color, dtype=np.float64)
+    if node_colors is None:
+        n_nodes = int(node.max()) + 1 if node.max() >= 0 else 0
+        node_colors = np.tile(
+            np.array([0.45, 0.55, 0.50]), (max(n_nodes, 1), 1)
+        )
+    face_colors = np.empty((len(face_nodes), 3))
+    outside = face_nodes < 0
+    face_colors[outside] = ground
+    face_colors[~outside] = node_colors[face_nodes[~outside]]
+    return TerrainMesh(vertices, faces, face_colors, face_nodes)

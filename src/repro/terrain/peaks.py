@@ -1,0 +1,171 @@
+"""Peak queries and region selection (paper Definition 6, §II-E).
+
+A *peak_α* is the terrain area within a boundary whose height is α; it
+corresponds one-to-one to a maximal α-connected component.  This module
+exposes the interaction layer of the paper's tool:
+
+* :func:`peaks_at` — cut the terrain with the plane ``height = α`` and
+  enumerate the resulting peaks;
+* :func:`highest_peaks` — the most prominent peaks (used to drill into
+  the densest K-core / K-truss, Figs 7(e)/(f));
+* :func:`select_region` — map a 2D layout point to the peak under it
+  (the "click on the terrain" primitive);
+* :class:`LinkedSelection` — the "callback" bridge: hand the selected
+  component's items to any other visualization (e.g. a spring layout).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import math
+
+import numpy as np
+
+from ..core.super_tree import SuperTree
+from .layout2d import TerrainLayout
+
+__all__ = ["Peak", "peaks_at", "highest_peaks", "select_region", "LinkedSelection"]
+
+
+@dataclass(frozen=True)
+class Peak:
+    """One terrain peak = one maximal α-connected component.
+
+    Attributes
+    ----------
+    node:
+        Super node whose boundary forms the peak's base.
+    alpha:
+        Height of the base boundary (the peak is a *peak_alpha*).
+    summit:
+        Maximum scalar inside the peak.
+    items:
+        Graph items (vertices or edges) of the component.
+    base_area:
+        Area of the base boundary — ∝ component size in the layout.
+    """
+
+    node: int
+    alpha: float
+    summit: float
+    items: np.ndarray
+    base_area: float
+
+    @property
+    def size(self) -> int:
+        """Number of items in the component."""
+        return len(self.items)
+
+    @property
+    def prominence(self) -> float:
+        """Height of the peak above its own base."""
+        return self.summit - self.alpha
+
+
+def _make_peak(tree: SuperTree, layout: Optional[TerrainLayout], node: int, alpha: float) -> Peak:
+    items = tree.subtree_items(node)
+    sub = tree.subtree_sizes()
+    # Summit: max scalar within subtree = scalar of deepest descendant.
+    stack = [node]
+    summit = float(tree.scalars[node])
+    while stack:
+        cur = stack.pop()
+        summit = max(summit, float(tree.scalars[cur]))
+        stack.extend(tree.children(cur))
+    if layout is not None:
+        area = layout.boundary_area(node)
+    else:
+        area = float(sub[node])
+    return Peak(node=node, alpha=alpha, summit=summit, items=items, base_area=area)
+
+
+def peaks_at(
+    tree: SuperTree,
+    alpha: float,
+    layout: Optional[TerrainLayout] = None,
+) -> List[Peak]:
+    """All peaks cut by the plane ``height = alpha``.
+
+    Each returned peak corresponds to one maximal α-connected component
+    (Property 2); peaks are sorted by descending size.
+    """
+    peaks = [
+        _make_peak(tree, layout, node, alpha)
+        for node in tree.component_roots_at(alpha)
+    ]
+    peaks.sort(key=lambda p: (-p.size, p.node))
+    return peaks
+
+
+def highest_peaks(
+    tree: SuperTree,
+    count: int = 1,
+    layout: Optional[TerrainLayout] = None,
+) -> List[Peak]:
+    """The ``count`` highest disjoint-and-disconnected peaks.
+
+    The first peak is the subtree of the highest-scalar super node —
+    on a KC field, the densest K-core (user-study Task 1).  Each
+    further peak is the subtree of the highest-scalar super node that
+    is neither an ancestor nor a descendant of any node already chosen,
+    so its component shares no items with, and is disconnected at its
+    own level from, the previous picks (Task 2's "densest K-core not
+    connected to the densest").
+    """
+    order = sorted(
+        range(tree.n_nodes), key=lambda n: (-float(tree.scalars[n]), n)
+    )
+    chosen: List[Peak] = []
+    excluded: set = set()
+    for node in order:
+        if len(chosen) >= count:
+            break
+        if node in excluded:
+            continue
+        peak = _make_peak(tree, layout, node, float(tree.scalars[node]))
+        chosen.append(peak)
+        # Exclude the whole mountain: ancestors and descendants.
+        anc = node
+        while anc >= 0:
+            excluded.add(int(anc))
+            anc = int(tree.parent[anc])
+        excluded.update(int(x) for x in tree.subtree_node_ids(node))
+    return chosen
+
+
+def select_region(
+    tree: SuperTree, layout: TerrainLayout, x: float, y: float
+) -> Optional[Peak]:
+    """Peak under the layout point ``(x, y)``, or None on open ground."""
+    node = layout.node_at(x, y)
+    if node is None:
+        return None
+    return _make_peak(tree, layout, node, float(tree.scalars[node]))
+
+
+class LinkedSelection:
+    """The paper's linked-2D-display "callback" hook.
+
+    Register any number of callbacks taking ``(peak, items)``; selecting
+    a terrain region invokes them all — e.g. to draw the selected
+    component with a spring layout next to the terrain (Fig 6(c)).
+    """
+
+    def __init__(self, tree: SuperTree, layout: TerrainLayout) -> None:
+        self._tree = tree
+        self._layout = layout
+        self._callbacks: List[Callable[[Peak, np.ndarray], None]] = []
+
+    def register(self, callback: Callable[[Peak, np.ndarray], None]) -> None:
+        """Add a callback fired on every selection."""
+        self._callbacks.append(callback)
+
+    def select(self, x: float, y: float) -> Optional[Peak]:
+        """Select the peak at layout coordinates and fire callbacks."""
+        peak = select_region(self._tree, self._layout, x, y)
+        if peak is not None:
+            for callback in self._callbacks:
+                callback(peak, peak.items)
+        return peak

@@ -1,0 +1,221 @@
+"""Software 3D renderer: z-buffered triangle rasterizer + image writers.
+
+A from-scratch replacement for the paper's OpenGL viewer, so the whole
+terrain pipeline runs headless: project triangles through an orbit
+:class:`~repro.terrain.camera.Camera`, fill them with scanline
+barycentric rasterization into a numpy z-buffer, shade with a single
+directional light, and write PNG (stdlib zlib) or binary PPM.
+
+High-level entry point: :func:`render_terrain` — scalar graph/tree in,
+image (and optional file) out.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.super_tree import SuperTree
+from .camera import Camera
+from .colormap import intensity_ramp
+from .heightfield import Heightfield, rasterize
+from .layout2d import TerrainLayout, layout_tree
+from .mesh import TerrainMesh, build_mesh
+
+__all__ = [
+    "render_mesh",
+    "render_terrain",
+    "node_colors_from_item_values",
+    "save_png",
+    "save_ppm",
+]
+
+_LIGHT = np.array([0.35, -0.5, 0.85])
+_LIGHT_DIR = _LIGHT / np.linalg.norm(_LIGHT)
+
+
+def render_mesh(
+    mesh: TerrainMesh,
+    camera: Optional[Camera] = None,
+    width: int = 640,
+    height: int = 480,
+    background=(1.0, 1.0, 1.0),
+    ambient: float = 0.45,
+) -> np.ndarray:
+    """Rasterize a terrain mesh to an (H, W, 3) uint8 image."""
+    camera = camera or Camera()
+    xy, depth = camera.project(mesh.vertices, width, height)
+
+    # Lambert shading per face.
+    tri = mesh.vertices[mesh.faces]
+    normals = np.cross(tri[:, 1] - tri[:, 0], tri[:, 2] - tri[:, 0])
+    norms = np.linalg.norm(normals, axis=1, keepdims=True)
+    normals = normals / np.where(norms > 1e-12, norms, 1.0)
+    # Faces are viewed from above; flip normals pointing down.
+    normals[normals[:, 2] < 0] *= -1
+    diffuse = np.clip(normals @ _LIGHT_DIR, 0.0, 1.0)
+    shade = ambient + (1.0 - ambient) * diffuse
+    colors = np.clip(mesh.face_colors * shade[:, None], 0.0, 1.0)
+
+    frame = np.empty((height, width, 3), dtype=np.float64)
+    frame[:] = np.asarray(background)
+    zbuf = np.full((height, width), np.inf)
+
+    pts = xy[mesh.faces]  # (m, 3, 2)
+    zs = depth[mesh.faces]  # (m, 3)
+    # Painter-friendly order is unnecessary with a z-buffer; iterate as is.
+    for f in range(len(mesh.faces)):
+        z0, z1, z2 = zs[f]
+        if z0 <= 0 or z1 <= 0 or z2 <= 0:
+            continue
+        (x0, y0), (x1, y1), (x2, y2) = pts[f]
+        min_x = max(int(min(x0, x1, x2)), 0)
+        max_x = min(int(max(x0, x1, x2)) + 1, width)
+        min_y = max(int(min(y0, y1, y2)), 0)
+        max_y = min(int(max(y0, y1, y2)) + 1, height)
+        if min_x >= max_x or min_y >= max_y:
+            continue
+        area = (x1 - x0) * (y2 - y0) - (x2 - x0) * (y1 - y0)
+        if abs(area) < 1e-12:
+            continue
+        px = (np.arange(min_x, max_x) + 0.5)[None, :]
+        py = (np.arange(min_y, max_y) + 0.5)[:, None]
+        w0 = ((x1 - x0) * (py - y0) - (px - x0) * (y1 - y0)) / area
+        w1 = ((px - x0) * (y2 - y0) - (x2 - x0) * (py - y0)) / area
+        # Barycentrics: b1 = w1 (vertex 1), b2 = w0 (vertex 2).
+        b0 = 1.0 - w0 - w1
+        inside = (b0 >= 0) & (w0 >= 0) & (w1 >= 0)
+        if not inside.any():
+            continue
+        z = b0 * z0 + w1 * z1 + w0 * z2
+        block_z = zbuf[min_y:max_y, min_x:max_x]
+        visible = inside & (z < block_z)
+        if not visible.any():
+            continue
+        block_z[visible] = z[visible]
+        frame[min_y:max_y, min_x:max_x][visible] = colors[f]
+    return (frame * 255).astype(np.uint8)
+
+
+def node_colors_from_item_values(
+    tree: SuperTree, values: np.ndarray, palette=intensity_ramp
+) -> np.ndarray:
+    """Per-super-node colours from per-*item* values.
+
+    ``values`` holds one number per graph item (vertex or edge); each
+    super node takes the palette colour of its members' mean value.
+    This is how the paper colours a terrain by a *second* measure.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    node_values = np.array(
+        [values[m].mean() if len(m) else 0.0 for m in tree.members]
+    )
+    return palette(node_values)
+
+
+def node_colors_categorical(
+    tree: SuperTree, labels: np.ndarray, color_table: np.ndarray
+) -> np.ndarray:
+    """Per-super-node colours from per-item categorical labels.
+
+    Each super node takes the colour of its members' majority label
+    (e.g. dominant role, Fig 9; plant genus, Fig 11).
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    out = np.zeros((tree.n_nodes, 3))
+    for s, member in enumerate(tree.members):
+        if len(member):
+            counts = np.bincount(labels[member])
+            out[s] = color_table[int(counts.argmax())]
+    return out
+
+
+def render_terrain(
+    tree: SuperTree,
+    color_values: Optional[np.ndarray] = None,
+    categorical_labels: Optional[np.ndarray] = None,
+    color_table: Optional[np.ndarray] = None,
+    camera: Optional[Camera] = None,
+    resolution: int = 160,
+    width: int = 640,
+    height: int = 480,
+    z_scale: float = 0.55,
+    layout: Optional[TerrainLayout] = None,
+    heightfield: Optional[Heightfield] = None,
+    path: Optional[Union[str, Path]] = None,
+) -> np.ndarray:
+    """One-call pipeline: super tree → layout → heightfield → image.
+
+    By default the terrain is coloured by its own scalar (height);
+    pass ``color_values`` (one per item) to colour by a second measure,
+    or ``categorical_labels`` + ``color_table`` for nominal attributes.
+    Precomputed ``layout``/``heightfield`` can be reused across camera
+    angles.  If ``path`` is given, the image is saved (suffix picks
+    PNG or PPM).
+    """
+    layout = layout or layout_tree(tree)
+    hf = heightfield or rasterize(layout, resolution=resolution)
+    if categorical_labels is not None:
+        if color_table is None:
+            raise ValueError("categorical_labels requires color_table")
+        node_colors = node_colors_categorical(
+            tree, categorical_labels, np.asarray(color_table)
+        )
+    elif color_values is not None:
+        node_colors = node_colors_from_item_values(tree, color_values)
+    else:
+        node_colors = intensity_ramp(tree.scalars)
+    mesh = build_mesh(hf, node_colors, z_scale=z_scale)
+    image = render_mesh(mesh, camera=camera, width=width, height=height)
+    if path is not None:
+        path = Path(path)
+        if path.suffix.lower() == ".ppm":
+            save_ppm(image, path)
+        else:
+            save_png(image, path)
+    return image
+
+
+def save_png(image: np.ndarray, path: Union[str, Path]) -> Path:
+    """Write an (H, W, 3) uint8 image as PNG (pure stdlib zlib)."""
+    image = np.ascontiguousarray(image, dtype=np.uint8)
+    h, w = image.shape[:2]
+    raw = b"".join(
+        b"\x00" + image[row].tobytes() for row in range(h)
+    )
+
+    def chunk(tag: bytes, payload: bytes) -> bytes:
+        return (
+            struct.pack(">I", len(payload))
+            + tag
+            + payload
+            + struct.pack(">I", zlib.crc32(tag + payload) & 0xFFFFFFFF)
+        )
+
+    header = struct.pack(">IIBBBBB", w, h, 8, 2, 0, 0, 0)
+    blob = (
+        b"\x89PNG\r\n\x1a\n"
+        + chunk(b"IHDR", header)
+        + chunk(b"IDAT", zlib.compress(raw, 6))
+        + chunk(b"IEND", b"")
+    )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(blob)
+    return path
+
+
+def save_ppm(image: np.ndarray, path: Union[str, Path]) -> Path:
+    """Write an (H, W, 3) uint8 image as binary PPM (P6)."""
+    image = np.ascontiguousarray(image, dtype=np.uint8)
+    h, w = image.shape[:2]
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as handle:
+        handle.write(f"P6\n{w} {h}\n255\n".encode())
+        handle.write(image.tobytes())
+    return path

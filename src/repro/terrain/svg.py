@@ -1,0 +1,155 @@
+"""A minimal SVG document builder.
+
+All 2D artifacts in this repository (treemaps, spring layouts, terrain
+profiles, CSV plots, LaNet-vi shells) are written as standalone SVG
+files through this tiny builder — no plotting library is available in
+the reproduction environment.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+from .colormap import rgb_to_hex
+
+__all__ = ["SVGCanvas"]
+
+
+class SVGCanvas:
+    """Accumulates SVG elements; ``save`` writes a standalone file.
+
+    Coordinates are in user units with the origin at the top-left, like
+    raw SVG.  Colours may be ``(r, g, b)`` float triples or CSS strings.
+    """
+
+    def __init__(self, width: float, height: float, background: str = "white"):
+        self.width = width
+        self.height = height
+        self._parts = [
+            f'<rect x="0" y="0" width="{width}" height="{height}" '
+            f'fill="{background}"/>'
+        ]
+
+    @staticmethod
+    def _color(color) -> str:
+        if color is None:
+            return "none"
+        if isinstance(color, str):
+            return color
+        return rgb_to_hex(color)
+
+    def circle(
+        self,
+        cx: float,
+        cy: float,
+        r: float,
+        fill=None,
+        stroke="black",
+        stroke_width: float = 1.0,
+        opacity: float = 1.0,
+    ) -> None:
+        """Add a circle."""
+        self._parts.append(
+            f'<circle cx="{cx:.2f}" cy="{cy:.2f}" r="{max(r, 0.0):.2f}" '
+            f'fill="{self._color(fill)}" stroke="{self._color(stroke)}" '
+            f'stroke-width="{stroke_width:.2f}" opacity="{opacity:.3f}"/>'
+        )
+
+    def line(
+        self,
+        x1: float,
+        y1: float,
+        x2: float,
+        y2: float,
+        stroke="black",
+        stroke_width: float = 1.0,
+        opacity: float = 1.0,
+    ) -> None:
+        """Add a line segment."""
+        self._parts.append(
+            f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" y2="{y2:.2f}" '
+            f'stroke="{self._color(stroke)}" stroke-width="{stroke_width:.2f}" '
+            f'opacity="{opacity:.3f}"/>'
+        )
+
+    def polygon(
+        self,
+        points: Sequence[Tuple[float, float]],
+        fill=None,
+        stroke=None,
+        stroke_width: float = 1.0,
+        opacity: float = 1.0,
+    ) -> None:
+        """Add a filled polygon."""
+        coords = " ".join(f"{x:.2f},{y:.2f}" for x, y in points)
+        self._parts.append(
+            f'<polygon points="{coords}" fill="{self._color(fill)}" '
+            f'stroke="{self._color(stroke)}" stroke-width="{stroke_width:.2f}" '
+            f'opacity="{opacity:.3f}"/>'
+        )
+
+    def polyline(
+        self,
+        points: Sequence[Tuple[float, float]],
+        stroke="black",
+        stroke_width: float = 1.0,
+    ) -> None:
+        """Add an open polyline."""
+        coords = " ".join(f"{x:.2f},{y:.2f}" for x, y in points)
+        self._parts.append(
+            f'<polyline points="{coords}" fill="none" '
+            f'stroke="{self._color(stroke)}" stroke-width="{stroke_width:.2f}"/>'
+        )
+
+    def rect(
+        self,
+        x: float,
+        y: float,
+        width: float,
+        height: float,
+        fill=None,
+        stroke=None,
+        stroke_width: float = 1.0,
+    ) -> None:
+        """Add a rectangle."""
+        self._parts.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" width="{width:.2f}" '
+            f'height="{height:.2f}" fill="{self._color(fill)}" '
+            f'stroke="{self._color(stroke)}" stroke-width="{stroke_width:.2f}"/>'
+        )
+
+    def text(
+        self,
+        x: float,
+        y: float,
+        content: str,
+        size: float = 12.0,
+        fill="black",
+        anchor: str = "start",
+    ) -> None:
+        """Add a text label."""
+        safe = (
+            content.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+        )
+        self._parts.append(
+            f'<text x="{x:.2f}" y="{y:.2f}" font-size="{size:.1f}" '
+            f'fill="{self._color(fill)}" text-anchor="{anchor}" '
+            f'font-family="sans-serif">{safe}</text>'
+        )
+
+    def to_string(self) -> str:
+        """The full SVG document as a string."""
+        body = "\n".join(self._parts)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">\n{body}\n</svg>\n'
+        )
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the document to ``path`` and return it."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_string())
+        return path

@@ -1,0 +1,54 @@
+"""Unit tests for the CSV density-plot baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import csv_order, csv_plot_svg
+from repro.graph import from_edges
+from repro.graph.generators import planted_cliques
+from repro.measures import core_numbers
+
+
+class TestCsvOrder:
+    def test_is_permutation(self):
+        g = planted_cliques(50, 100, [6], seed=0)[0]
+        order = csv_order(g, core_numbers(g).astype(float))
+        assert sorted(order.tolist()) == list(range(g.n_vertices))
+
+    def test_starts_at_global_max(self):
+        g = from_edges([(0, 1), (1, 2), (2, 3)])
+        values = np.array([1.0, 9.0, 2.0, 3.0])
+        order = csv_order(g, values)
+        assert order[0] == 1
+
+    def test_dense_subgraph_contiguous(self):
+        """A planted clique's vertices occupy one contiguous run."""
+        g, cliques = planted_cliques(80, 150, [10], seed=1)
+        kc = core_numbers(g).astype(float)
+        order = csv_order(g, kc)
+        positions = sorted(
+            np.flatnonzero(np.isin(order, cliques[0])).tolist()
+        )
+        assert positions == list(range(positions[0], positions[0] + 10))
+
+    def test_disconnected_graph_covered(self):
+        g = from_edges([(0, 1), (2, 3)])
+        order = csv_order(g, np.array([4.0, 3.0, 2.0, 1.0]))
+        assert sorted(order.tolist()) == [0, 1, 2, 3]
+
+
+class TestCsvPlotSvg:
+    def test_renders_bars(self, tmp_path):
+        g = planted_cliques(40, 80, [6], seed=2)[0]
+        svg = csv_plot_svg(
+            g, core_numbers(g).astype(float), path=tmp_path / "c.svg"
+        )
+        # One bar per vertex plus the background rect.
+        assert svg.count("<rect") == g.n_vertices + 1
+        assert (tmp_path / "c.svg").exists()
+
+    def test_axis_labels(self):
+        g = from_edges([(0, 1)])
+        svg = csv_plot_svg(g, np.array([1.0, 2.0]))
+        assert "CSV order" in svg
+        assert "max=2" in svg

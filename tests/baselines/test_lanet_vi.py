@@ -1,0 +1,45 @@
+"""Unit tests for the LaNet-vi-style onion layout."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import lanet_vi_layout, lanet_vi_svg
+from repro.graph import datasets
+from repro.graph.generators import planted_cliques
+from repro.measures import core_numbers
+
+
+class TestLayout:
+    def test_positions_and_core_returned(self):
+        g = planted_cliques(100, 200, [8], seed=0)[0]
+        pos, core = lanet_vi_layout(g, seed=0)
+        assert pos.shape == (g.n_vertices, 2)
+        assert np.array_equal(core, core_numbers(g))
+
+    def test_denser_cores_more_central(self):
+        g = planted_cliques(150, 300, [12], seed=1)[0]
+        pos, core = lanet_vi_layout(g, seed=0)
+        center = pos.mean(axis=0)
+        r = np.linalg.norm(pos - center, axis=1)
+        top = core == core.max()
+        shallow = core <= 1
+        assert r[top].mean() < r[shallow].mean()
+
+    def test_deterministic(self):
+        g = planted_cliques(80, 160, [8], seed=2)[0]
+        a, __ = lanet_vi_layout(g, seed=3)
+        b, __ = lanet_vi_layout(g, seed=3)
+        assert np.allclose(a, b)
+
+    def test_unit_square(self):
+        g = datasets.load("ppi").graph
+        pos, __ = lanet_vi_layout(g, seed=0)
+        assert pos.min() >= 0 and pos.max() <= 1
+
+
+class TestSvg:
+    def test_renders(self, tmp_path):
+        g = planted_cliques(60, 120, [7], seed=3)[0]
+        svg = lanet_vi_svg(g, size=320, path=tmp_path / "l.svg")
+        assert svg.count("<circle") == g.n_vertices
+        assert (tmp_path / "l.svg").exists()

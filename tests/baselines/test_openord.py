@@ -1,0 +1,80 @@
+"""Unit tests for the simplified OpenOrd multilevel layout."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import coarsen, openord_layout, openord_svg
+from repro.graph import from_edges
+from repro.graph.generators import connected_caveman, erdos_renyi
+
+
+class TestCoarsen:
+    def test_shrinks_graph(self):
+        g = erdos_renyi(100, 300, seed=0)
+        coarse, mapping = coarsen(g, seed=0)
+        assert coarse.n_vertices < g.n_vertices
+        assert coarse.n_vertices >= g.n_vertices // 2
+        assert len(mapping) == g.n_vertices
+        assert mapping.max() == coarse.n_vertices - 1
+
+    def test_mapping_preserves_adjacency(self):
+        g = erdos_renyi(60, 150, seed=1)
+        coarse, mapping = coarsen(g, seed=0)
+        for u, v in g.edges():
+            cu, cv = mapping[u], mapping[v]
+            if cu != cv:
+                assert coarse.has_edge(int(cu), int(cv))
+
+    def test_deterministic(self):
+        g = erdos_renyi(60, 150, seed=2)
+        a = coarsen(g, seed=5)[1]
+        b = coarsen(g, seed=5)[1]
+        assert np.array_equal(a, b)
+
+
+class TestLayout:
+    def test_unit_square(self):
+        g = erdos_renyi(200, 500, seed=3)
+        pos = openord_layout(g, seed=0)
+        assert pos.shape == (200, 2)
+        assert pos.min() >= 0 and pos.max() <= 1
+
+    def test_deterministic(self):
+        g = erdos_renyi(120, 300, seed=4)
+        assert np.allclose(openord_layout(g, seed=1), openord_layout(g, seed=1))
+
+    def test_clusters_separate(self):
+        g = connected_caveman(3, 10)
+        pos = openord_layout(g, seed=0)
+        blocks = [list(range(c * 10, (c + 1) * 10)) for c in range(3)]
+        intra = np.mean([
+            np.linalg.norm(pos[a] - pos[b])
+            for bl in blocks for a in bl for b in bl if a < b
+        ])
+        inter = np.mean([
+            np.linalg.norm(pos[a] - pos[b])
+            for a in blocks[0] for b in blocks[1]
+        ])
+        assert intra < inter
+
+    def test_small_graph_no_coarsening(self):
+        g = from_edges([(0, 1), (1, 2)])
+        pos = openord_layout(g, seed=0)
+        assert pos.shape == (3, 2)
+
+
+class TestSvg:
+    def test_sizes_encode_second_measure(self, tmp_path):
+        g = erdos_renyi(30, 60, seed=5)
+        rng = np.random.default_rng(0)
+        svg = openord_svg(
+            g, values=rng.random(30), sizes=rng.random(30) * 10,
+            size=320, path=tmp_path / "o.svg",
+        )
+        assert svg.count("<circle") == 30
+        assert (tmp_path / "o.svg").exists()
+
+    def test_uniform_size_fallback(self):
+        g = erdos_renyi(20, 40, seed=6)
+        svg = openord_svg(g, values=np.arange(20, dtype=float))
+        assert 'r="2.60"' in svg

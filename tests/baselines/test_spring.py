@@ -1,0 +1,87 @@
+"""Unit tests for the Fruchterman–Reingold spring layout."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import draw_graph_svg, spring_layout
+from repro.graph import from_edges
+from repro.graph.generators import connected_caveman, erdos_renyi
+
+
+class TestSpringLayout:
+    def test_output_in_unit_square(self):
+        g = erdos_renyi(40, 90, seed=0)
+        pos = spring_layout(g, iterations=30, seed=0)
+        assert pos.shape == (40, 2)
+        assert pos.min() >= 0.0 and pos.max() <= 1.0
+
+    def test_deterministic(self):
+        g = erdos_renyi(30, 60, seed=1)
+        a = spring_layout(g, iterations=20, seed=5)
+        b = spring_layout(g, iterations=20, seed=5)
+        assert np.allclose(a, b)
+
+    def test_edges_shorter_than_non_edges(self):
+        """Connected pairs should end closer than random pairs."""
+        g = connected_caveman(4, 6)
+        pos = spring_layout(g, iterations=120, seed=0)
+        edge_d = [
+            np.linalg.norm(pos[u] - pos[v]) for u, v in g.edges()
+        ]
+        rng = np.random.default_rng(0)
+        non_edges = []
+        while len(non_edges) < 100:
+            u, v = rng.integers(0, g.n_vertices, 2)
+            if u != v and not g.has_edge(int(u), int(v)):
+                non_edges.append(np.linalg.norm(pos[u] - pos[v]))
+        assert np.mean(edge_d) < np.mean(non_edges)
+
+    def test_cliques_form_clusters(self):
+        g = connected_caveman(3, 8)
+        pos = spring_layout(g, iterations=120, seed=2)
+        # Mean intra-clique distance < mean inter-clique distance.
+        cliques = [list(range(c * 8, (c + 1) * 8)) for c in range(3)]
+        intra = np.mean([
+            np.linalg.norm(pos[a] - pos[b])
+            for cl in cliques for a in cl for b in cl if a < b
+        ])
+        inter = np.mean([
+            np.linalg.norm(pos[a] - pos[b])
+            for a in cliques[0] for b in cliques[1]
+        ])
+        assert intra < inter
+
+    def test_single_vertex(self):
+        g = from_edges([], nodes=[0])
+        pos = spring_layout(g, iterations=5, seed=0)
+        assert pos.shape == (1, 2)
+
+    def test_sampled_repulsion_path(self):
+        g = erdos_renyi(1600, 3000, seed=3)
+        pos = spring_layout(
+            g, iterations=3, seed=0, sample_threshold=1500,
+            repulsion_samples=50,
+        )
+        assert np.isfinite(pos).all()
+
+
+class TestDrawGraphSvg:
+    def test_counts(self):
+        g = erdos_renyi(10, 20, seed=4)
+        pos = spring_layout(g, iterations=5, seed=0)
+        svg = draw_graph_svg(g, pos)
+        assert svg.count("<circle") == 10
+        assert svg.count("<line") == g.n_edges
+
+    def test_value_coloring(self):
+        g = erdos_renyi(10, 20, seed=4)
+        pos = spring_layout(g, iterations=5, seed=0)
+        values = np.arange(10, dtype=float)
+        svg = draw_graph_svg(g, pos, values=values)
+        assert "#e6261a" in svg  # top value rendered red
+
+    def test_save(self, tmp_path):
+        g = from_edges([(0, 1)])
+        pos = np.array([[0.0, 0.0], [1.0, 1.0]])
+        draw_graph_svg(g, pos, path=tmp_path / "g.svg")
+        assert (tmp_path / "g.svg").exists()

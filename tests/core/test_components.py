@@ -1,0 +1,111 @@
+"""Unit tests for brute-force maximal α-component extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EdgeScalarGraph,
+    ScalarGraph,
+    edge_mcc,
+    maximal_alpha_components,
+    maximal_alpha_edge_components,
+    mcc,
+)
+from repro.graph import from_edges
+
+
+class TestVertexComponents:
+    def test_definition_conditions(self, triangle_plus_tail):
+        comps = maximal_alpha_components(triangle_plus_tail, 2.0)
+        scal = triangle_plus_tail.scalars
+        graph = triangle_plus_tail.graph
+        for comp in comps:
+            members = set(comp.tolist())
+            # (1) every member meets the threshold
+            assert all(scal[v] >= 2.0 for v in members)
+            # (2) maximality: no neighbour >= alpha outside
+            for v in members:
+                for w in graph.neighbors(v):
+                    if int(w) not in members:
+                        assert scal[w] < 2.0
+
+    def test_threshold_below_min_single_component(self, triangle_plus_tail):
+        comps = maximal_alpha_components(triangle_plus_tail, 0.0)
+        assert len(comps) == 1
+        assert len(comps[0]) == 4
+
+    def test_threshold_above_max_empty(self, triangle_plus_tail):
+        assert maximal_alpha_components(triangle_plus_tail, 99.0) == []
+
+    def test_split_into_two(self):
+        # high - low - high chain splits at alpha between.
+        graph = from_edges([(0, 1), (1, 2)])
+        sg = ScalarGraph(graph, [5.0, 1.0, 4.0])
+        comps = maximal_alpha_components(sg, 2.0)
+        assert sorted(map(len, comps)) == [1, 1]
+
+    def test_isolated_vertex_is_component(self):
+        graph = from_edges([(0, 1)], nodes=[0, 1, 2])
+        sg = ScalarGraph(graph, [1.0, 1.0, 5.0])
+        comps = maximal_alpha_components(sg, 3.0)
+        assert [c.tolist() for c in comps] == [[2]]
+
+    def test_deterministic_ordering(self, paper_fig2):
+        a = maximal_alpha_components(paper_fig2, 2.5)
+        b = maximal_alpha_components(paper_fig2, 2.5)
+        assert [c.tolist() for c in a] == [c.tolist() for c in b]
+        assert len(a[0]) >= len(a[1])
+
+
+class TestMCC:
+    def test_mcc_contains_vertex(self, paper_fig2):
+        for v in range(9):
+            assert v in mcc(paper_fig2, v)
+
+    def test_mcc_alpha_is_own_scalar(self, paper_fig2):
+        scal = paper_fig2.scalars
+        for v in range(9):
+            comp = mcc(paper_fig2, v)
+            assert scal[comp].min() >= scal[v]
+
+    def test_theorem1_every_component_is_some_mcc(self, paper_fig2):
+        """Theorem 1: every maximal α-component C equals MCC(v) for the
+        min-scalar vertex v in C."""
+        scal = paper_fig2.scalars
+        for alpha in (2.0, 2.5, 3.0, 3.5, 4.0):
+            for comp in maximal_alpha_components(paper_fig2, alpha):
+                v = int(comp[np.argmin(scal[comp])])
+                assert set(mcc(paper_fig2, v).tolist()) == set(comp.tolist())
+
+
+class TestEdgeComponents:
+    def test_path_splits_on_low_middle_edge(self):
+        graph = from_edges([(0, 1), (1, 2), (2, 3)])
+        # Edge ids follow sorted pair order: (0,1), (1,2), (2,3).
+        eg = EdgeScalarGraph(graph, [5.0, 1.0, 4.0])
+        comps = maximal_alpha_edge_components(eg, 2.0)
+        assert sorted(c.tolist() for c in comps) == [[0], [2]]
+
+    def test_shared_vertex_joins_edges(self):
+        graph = from_edges([(0, 1), (1, 2)])
+        eg = EdgeScalarGraph(graph, [3.0, 3.0])
+        comps = maximal_alpha_edge_components(eg, 2.0)
+        assert [sorted(c.tolist()) for c in comps] == [[0, 1]]
+
+    def test_empty_above_max(self):
+        graph = from_edges([(0, 1)])
+        eg = EdgeScalarGraph(graph, [1.0])
+        assert maximal_alpha_edge_components(eg, 2.0) == []
+
+    def test_edge_mcc_contains_edge(self):
+        graph = from_edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+        eg = EdgeScalarGraph(graph, [4.0, 3.0, 2.0, 1.0])
+        for eid in range(4):
+            assert eid in edge_mcc(eg, eid)
+
+    def test_edge_mcc_threshold(self):
+        graph = from_edges([(0, 1), (1, 2), (2, 0)])
+        eg = EdgeScalarGraph(graph, [4.0, 3.0, 2.0])
+        comp = edge_mcc(eg, 0)
+        assert eg.scalars[comp].min() >= eg.scalars[0] or len(comp) == 1
+        assert set(edge_mcc(eg, 2).tolist()) == {0, 1, 2}

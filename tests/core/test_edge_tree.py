@@ -1,0 +1,111 @@
+"""Unit tests for edge scalar trees (Algorithm 3 and the naive method)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EdgeScalarGraph,
+    build_edge_tree,
+    build_edge_tree_naive,
+    build_super_tree,
+    maximal_alpha_edge_components,
+)
+from repro.graph import from_edges
+
+
+def _component_sets(tree, alphas):
+    st = build_super_tree(tree)
+    return {
+        alpha: sorted(tuple(sorted(c)) for c in st.components_at(alpha))
+        for alpha in alphas
+    }
+
+
+class TestAlgorithm3:
+    def test_kind_is_edge(self):
+        graph = from_edges([(0, 1), (1, 2)])
+        tree = build_edge_tree(EdgeScalarGraph(graph, [2.0, 1.0]))
+        assert tree.kind == "edge"
+        tree.validate()
+
+    def test_one_node_per_edge(self):
+        graph = from_edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+        eg = EdgeScalarGraph(graph, [4.0, 3.0, 2.0, 1.0])
+        assert build_edge_tree(eg).n_nodes == 4
+
+    def test_star_graph(self):
+        graph = from_edges([(0, 1), (0, 2), (0, 3)])
+        eg = EdgeScalarGraph(graph, [3.0, 2.0, 1.0])
+        tree = build_edge_tree(eg)
+        # All edges share vertex 0: strictly nested chain.
+        assert list(tree.parent) == [1, 2, -1]
+
+    def test_disconnected_edge_components(self):
+        graph = from_edges([(0, 1), (2, 3)])
+        eg = EdgeScalarGraph(graph, [2.0, 1.0])
+        tree = build_edge_tree(eg)
+        assert len(tree.roots) == 2
+
+    def test_single_edge(self):
+        graph = from_edges([(0, 1)])
+        tree = build_edge_tree(EdgeScalarGraph(graph, [1.0]))
+        assert tree.n_nodes == 1
+        assert tree.roots == [0]
+
+
+class TestNaiveEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_same_components_random(self, random_edge_scalar_graph, seed):
+        """Optimized Algorithm 3 and the dual-graph method induce
+        identical component structure at every level (and both match
+        the brute-force definition)."""
+        eg = random_edge_scalar_graph(n=25, m=60, levels=4, seed=seed)
+        alphas = sorted(set(eg.scalars.tolist()))
+        fast = _component_sets(build_edge_tree(eg), alphas)
+        naive = _component_sets(build_edge_tree_naive(eg), alphas)
+        assert fast == naive
+        for alpha in alphas:
+            brute = sorted(
+                tuple(c) for c in maximal_alpha_edge_components(eg, alpha)
+            )
+            assert fast[alpha] == brute
+
+    def test_skewed_degrees(self):
+        """A hub vertex — the case where the dual graph blows up."""
+        from repro.graph.generators import hub_and_spoke
+
+        graph = hub_and_spoke(15, spoke_length=2)
+        rng = np.random.default_rng(0)
+        eg = EdgeScalarGraph(
+            graph, rng.integers(0, 4, graph.n_edges).astype(float)
+        )
+        alphas = sorted(set(eg.scalars.tolist()))
+        assert _component_sets(build_edge_tree(eg), alphas) == _component_sets(
+            build_edge_tree_naive(eg), alphas
+        )
+
+
+class TestProposition5:
+    def test_alpha_edge_components_of_kt_field_are_trusses(self):
+        """Prop 5: with e.scalar = KT(e), every maximal α-edge component
+        is a K-truss with K = α."""
+        from repro.graph.generators import connected_caveman
+        from repro.measures import truss_numbers
+
+        graph = connected_caveman(3, 6)
+        kt = truss_numbers(graph)
+        eg = EdgeScalarGraph(graph, kt.astype(float))
+        pairs = graph.edge_array()
+        for alpha in sorted(set(kt.tolist())):
+            for comp in maximal_alpha_edge_components(eg, alpha):
+                # Count triangles of each component edge *within* the component.
+                comp_set = set(map(int, comp))
+                adj = {}
+                for eid in comp_set:
+                    u, v = map(int, pairs[eid])
+                    adj.setdefault(u, set()).add(v)
+                    adj.setdefault(v, set()).add(u)
+                for eid in comp_set:
+                    u, v = map(int, pairs[eid])
+                    support = len(adj[u] & adj[v])
+                    assert support >= alpha

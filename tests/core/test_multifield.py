@@ -1,0 +1,201 @@
+"""Unit tests for LCI / GCI / outlier score (paper §II-F)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    global_correlation_index,
+    khop_local_correlation_index,
+    local_correlation_index,
+    outlier_score,
+)
+from repro.graph import from_edges
+from repro.graph.generators import erdos_renyi
+
+
+def _manual_lci(graph, fi, fj, v):
+    """Direct transcription of the paper's formulas over N(v) ∪ {v}."""
+    nbrs = [v] + [int(w) for w in graph.neighbors(v)]
+    a = fi[nbrs]
+    b = fj[nbrs]
+    cov_ij = ((a - a.mean()) * (b - b.mean())).mean()
+    cov_ii = ((a - a.mean()) ** 2).mean()
+    cov_jj = ((b - b.mean()) ** 2).mean()
+    if cov_ii == 0 or cov_jj == 0:
+        return 0.0
+    return cov_ij / (np.sqrt(cov_ii) * np.sqrt(cov_jj))
+
+
+class TestLCI:
+    def test_matches_manual_formula(self):
+        graph = erdos_renyi(40, 100, seed=7)
+        rng = np.random.default_rng(7)
+        fi = rng.random(40)
+        fj = rng.random(40)
+        lci = local_correlation_index(graph, fi, fj)
+        for v in range(40):
+            assert lci[v] == pytest.approx(_manual_lci(graph, fi, fj, v))
+
+    def test_perfectly_correlated(self):
+        graph = erdos_renyi(30, 60, seed=1)
+        f = np.random.default_rng(1).random(30)
+        lci = local_correlation_index(graph, f, 2 * f + 3)
+        assert np.allclose(lci[graph.degree() > 0], 1.0)
+
+    def test_anti_correlated(self):
+        graph = erdos_renyi(30, 60, seed=2)
+        f = np.random.default_rng(2).random(30)
+        lci = local_correlation_index(graph, f, -f)
+        assert np.allclose(lci[graph.degree() > 0], -1.0)
+
+    def test_constant_field_gives_zero(self):
+        graph = from_edges([(0, 1), (1, 2)])
+        lci = local_correlation_index(
+            graph, np.ones(3), np.array([1.0, 2.0, 3.0])
+        )
+        assert np.allclose(lci, 0.0)
+
+    def test_bounded(self):
+        graph = erdos_renyi(50, 150, seed=3)
+        rng = np.random.default_rng(3)
+        lci = local_correlation_index(graph, rng.random(50), rng.random(50))
+        assert (np.abs(lci) <= 1.0).all()
+
+    def test_wrong_length_rejected(self):
+        graph = from_edges([(0, 1)])
+        with pytest.raises(ValueError):
+            local_correlation_index(graph, np.ones(3), np.ones(2))
+
+    def test_symmetry_in_fields(self):
+        graph = erdos_renyi(25, 60, seed=4)
+        rng = np.random.default_rng(4)
+        a, b = rng.random(25), rng.random(25)
+        assert np.allclose(
+            local_correlation_index(graph, a, b),
+            local_correlation_index(graph, b, a),
+        )
+
+
+class TestKhop:
+    def test_k1_matches_lci(self):
+        graph = erdos_renyi(30, 70, seed=5)
+        rng = np.random.default_rng(5)
+        a, b = rng.random(30), rng.random(30)
+        assert np.allclose(
+            khop_local_correlation_index(graph, a, b, k=1),
+            local_correlation_index(graph, a, b),
+        )
+
+    def test_k2_uses_wider_neighborhood(self):
+        # A path: 2-hop LCI at the end vertex sees 3 vertices.
+        graph = from_edges([(0, 1), (1, 2), (2, 3)])
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        b = np.array([1.0, 2.0, 9.0, 4.0])
+        k1 = khop_local_correlation_index(graph, a, b, k=1)
+        k2 = khop_local_correlation_index(graph, a, b, k=2)
+        assert not np.allclose(k1, k2)
+
+    def test_invalid_k(self):
+        graph = from_edges([(0, 1)])
+        with pytest.raises(ValueError):
+            khop_local_correlation_index(graph, np.ones(2), np.ones(2), k=0)
+
+
+class TestGCIAndOutliers:
+    def test_gci_is_mean_lci(self):
+        graph = erdos_renyi(40, 90, seed=6)
+        rng = np.random.default_rng(6)
+        a, b = rng.random(40), rng.random(40)
+        assert global_correlation_index(graph, a, b) == pytest.approx(
+            float(local_correlation_index(graph, a, b).mean())
+        )
+
+    def test_outlier_score_is_negated_lci(self):
+        graph = erdos_renyi(40, 90, seed=8)
+        rng = np.random.default_rng(8)
+        a, b = rng.random(40), rng.random(40)
+        assert np.allclose(
+            outlier_score(graph, a, b),
+            -local_correlation_index(graph, a, b),
+        )
+
+    def test_astro_standin_gci_strongly_positive(self):
+        """§III-C: GCI(degree, betweenness) on Astro is ~0.89."""
+        from repro.graph import datasets
+        from repro.measures import betweenness_centrality, degree_centrality
+
+        graph = datasets.load("astro").graph
+        deg = degree_centrality(graph, normalized=False)
+        bet = betweenness_centrality(graph, samples=128, seed=0)
+        gci = global_correlation_index(graph, deg, bet)
+        assert gci > 0.5
+
+    def test_planted_bridges_are_outliers(self):
+        """Fig 10: low-degree bridge vertices have high outlier score."""
+        from repro.graph import datasets
+        from repro.measures import betweenness_centrality, degree_centrality
+
+        ds = datasets.load("astro")
+        graph = ds.graph
+        deg = degree_centrality(graph, normalized=False)
+        bet = betweenness_centrality(graph, samples=128, seed=0)
+        scores = outlier_score(graph, deg, bet)
+        bridges = ds.planted["bridges"]
+        top_decile = np.quantile(scores, 0.9)
+        assert (scores[bridges] > top_decile).mean() >= 0.5
+
+
+class TestEdgeLCI:
+    def test_matches_manual(self):
+        from repro.core import edge_local_correlation_index
+
+        graph = erdos_renyi(25, 60, seed=9)
+        rng = np.random.default_rng(9)
+        fi = rng.random(graph.n_edges)
+        fj = rng.random(graph.n_edges)
+        lci = edge_local_correlation_index(graph, fi, fj)
+        pairs = graph.edge_array()
+        # manual: neighborhood of edge e = edges sharing an endpoint (incl e)
+        incident = [[] for _ in range(graph.n_vertices)]
+        for eid, (u, v) in enumerate(pairs):
+            incident[u].append(eid)
+            incident[v].append(eid)
+        for eid, (u, v) in enumerate(pairs):
+            hood = incident[u] + [e for e in incident[v] if e != eid]
+            a, b = fi[hood], fj[hood]
+            va, vb = a.var(), b.var()
+            if va > 0 and vb > 0:
+                expect = ((a - a.mean()) * (b - b.mean())).mean() / (
+                    np.sqrt(va) * np.sqrt(vb)
+                )
+            else:
+                expect = 0.0
+            assert lci[eid] == pytest.approx(np.clip(expect, -1, 1))
+
+    def test_perfect_correlation(self):
+        from repro.core import edge_local_correlation_index
+
+        graph = erdos_renyi(20, 50, seed=2)
+        f = np.random.default_rng(2).random(graph.n_edges)
+        lci = edge_local_correlation_index(graph, f, 3 * f + 1)
+        assert np.allclose(lci, 1.0)
+
+    def test_wrong_length(self):
+        from repro.core import edge_local_correlation_index
+
+        graph = from_edges([(0, 1), (1, 2)])
+        with pytest.raises(ValueError):
+            edge_local_correlation_index(graph, np.ones(2), np.ones(3))
+
+    def test_global_is_mean(self):
+        from repro.core import (
+            edge_global_correlation_index,
+            edge_local_correlation_index,
+        )
+
+        graph = erdos_renyi(20, 50, seed=4)
+        rng = np.random.default_rng(4)
+        a, b = rng.random(graph.n_edges), rng.random(graph.n_edges)
+        assert edge_global_correlation_index(graph, a, b) == pytest.approx(
+            float(edge_local_correlation_index(graph, a, b).mean())
+        )

@@ -1,0 +1,115 @@
+"""The paper's worked examples (Figs 2 and 3) as exact fixtures."""
+
+import numpy as np
+
+from repro.core import (
+    build_super_tree,
+    build_vertex_tree,
+    maximal_alpha_components,
+    mcc,
+)
+
+
+class TestFig2:
+    """Scalar tree of Fig 2: distinct values, two 2.5-components."""
+
+    def test_components_at_2_5(self, paper_fig2):
+        comps = [set(c.tolist()) for c in
+                 maximal_alpha_components(paper_fig2, 2.5)]
+        assert {0, 1, 2, 4} in comps  # C1(v1, v2, v3, v5)
+        assert {3, 5} in comps        # C2(v4, v6)
+        assert len(comps) == 2
+
+    def test_c1_inside_maximal_2_component(self, paper_fig2):
+        comps = [set(c.tolist()) for c in
+                 maximal_alpha_components(paper_fig2, 2.0)]
+        assert {0, 1, 2, 3, 4, 5, 6} in comps  # C3(v1..v7)
+
+    def test_tree_rooted_at_v9(self, paper_fig2):
+        tree = build_vertex_tree(paper_fig2)
+        assert tree.roots == [8]  # v9 carries the minimum scalar
+
+    def test_tree_subtrees_match_components(self, paper_fig2):
+        """Property 2: cutting at 2.5 leaves exactly ST(C1) and ST(C2)."""
+        st = build_super_tree(build_vertex_tree(paper_fig2))
+        tree_comps = sorted(
+            tuple(sorted(c)) for c in st.components_at(2.5)
+        )
+        assert tree_comps == [(0, 1, 2, 4), (3, 5)]
+
+    def test_property3_containment(self, paper_fig2):
+        """C1 ⊆ C3 iff ST(C1) is a subtree of ST(C3)."""
+        st = build_super_tree(build_vertex_tree(paper_fig2))
+        [c3_root] = [
+            r for r in st.component_roots_at(2.0)
+            if len(st.subtree_items(r)) == 7
+        ]
+        c1_root = [
+            r for r in st.component_roots_at(2.5)
+            if len(st.subtree_items(r)) == 4
+        ][0]
+        assert st.is_ancestor(c3_root, c1_root)
+
+    def test_distinct_values_one_member_per_node(self, paper_fig2):
+        """With distinct scalars, Algorithm 2 merges nothing
+        (Property 1 survives)."""
+        st = build_super_tree(build_vertex_tree(paper_fig2))
+        assert st.n_nodes == 9
+        assert all(len(m) == 1 for m in st.members)
+
+    def test_proposition1_subtree_is_mcc(self, paper_fig2):
+        """Prop 1: the subtree rooted at n(v) corresponds to MCC(v)."""
+        st = build_super_tree(build_vertex_tree(paper_fig2))
+        for v in range(9):
+            assert set(st.mcc_items(v).tolist()) == set(
+                mcc(paper_fig2, v).tolist()
+            )
+
+
+class TestFig3:
+    """Postprocessing example of Fig 3: equal values force super nodes."""
+
+    def test_raw_tree_has_bad_subtree(self, paper_fig3):
+        """Before Algorithm 2, some subtree is NOT a maximal
+        α-connected component (the paper's motivating defect)."""
+        tree = build_vertex_tree(paper_fig3)
+        brute = {
+            frozenset(c.tolist())
+            for alpha in sorted(set(paper_fig3.scalars))
+            for c in maximal_alpha_components(paper_fig3, alpha)
+        }
+        children = tree.children()
+        bad = []
+        for node in range(tree.n_nodes):
+            subtree = frozenset(tree.subtree_nodes(node).tolist())
+            if subtree not in brute:
+                bad.append(subtree)
+        assert bad, "Algorithm 1 output should need postprocessing here"
+
+    def test_super_tree_merges_equal_chain(self, paper_fig3):
+        """Algorithm 2 merges the three scalar-2 vertices (paper: n3,
+        n4, n5 collapse into one super node)."""
+        st = build_super_tree(build_vertex_tree(paper_fig3))
+        merged = [m for m in st.members if len(m) == 3]
+        assert len(merged) == 1
+        assert set(merged[0].tolist()) == {2, 3, 4}
+
+    def test_super_tree_subtrees_are_components(self, paper_fig3):
+        """After Algorithm 2 every subtree IS a maximal α-component."""
+        st = build_super_tree(build_vertex_tree(paper_fig3))
+        brute = {
+            frozenset(c.tolist())
+            for alpha in sorted(set(paper_fig3.scalars))
+            for c in maximal_alpha_components(paper_fig3, alpha)
+        }
+        for node in range(st.n_nodes):
+            assert frozenset(st.subtree_items(node).tolist()) in brute
+
+    def test_proposition2_mcc_via_super_node(self, paper_fig3):
+        """Prop 2: the subtree rooted at the equal-valued ancestor super
+        node is MCC(v), even with ties."""
+        st = build_super_tree(build_vertex_tree(paper_fig3))
+        for v in range(5):
+            assert set(st.mcc_items(v).tolist()) == set(
+                mcc(paper_fig3, v).tolist()
+            )

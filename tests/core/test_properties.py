@@ -1,0 +1,183 @@
+"""Property-based tests: the paper's theorems on random scalar graphs.
+
+Random graphs with repeated scalar values are the adversarial case for
+the tree machinery (ties are what Algorithm 2 exists for), so every
+property here is quantified over seeded random instances via hypothesis.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    EdgeScalarGraph,
+    ScalarGraph,
+    build_edge_tree,
+    build_edge_tree_naive,
+    build_super_tree,
+    build_vertex_tree,
+    maximal_alpha_components,
+    maximal_alpha_edge_components,
+    mcc,
+)
+from repro.graph.generators import erdos_renyi
+from repro.measures import core_numbers
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+
+@st.composite
+def scalar_graphs(draw):
+    n = draw(st.integers(4, 28))
+    max_m = n * (n - 1) // 2
+    m = draw(st.integers(0, min(max_m, 3 * n)))
+    levels = draw(st.integers(1, 5))
+    seed = draw(st.integers(0, 10_000))
+    graph = erdos_renyi(n, m, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    scalars = rng.integers(0, levels, n).astype(np.float64)
+    return ScalarGraph(graph, scalars)
+
+
+@st.composite
+def edge_scalar_graphs(draw):
+    n = draw(st.integers(4, 20))
+    max_m = n * (n - 1) // 2
+    m = draw(st.integers(1, min(max_m, 3 * n)))
+    levels = draw(st.integers(1, 5))
+    seed = draw(st.integers(0, 10_000))
+    graph = erdos_renyi(n, m, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    scalars = rng.integers(0, levels, graph.n_edges).astype(np.float64)
+    return EdgeScalarGraph(graph, scalars)
+
+
+def _all_alphas(values):
+    return sorted(set(values.tolist()))
+
+
+@settings(**SETTINGS)
+@given(sg=scalar_graphs())
+def test_property_2_subtrees_are_components(sg):
+    """Property 2: subtrees cut at α ↔ maximal α-components, at every α."""
+    st_tree = build_super_tree(build_vertex_tree(sg))
+    for alpha in _all_alphas(sg.scalars):
+        tree_side = sorted(
+            tuple(sorted(c)) for c in st_tree.components_at(alpha)
+        )
+        brute = sorted(
+            tuple(c) for c in maximal_alpha_components(sg, alpha)
+        )
+        assert tree_side == brute
+
+
+@settings(**SETTINGS)
+@given(sg=scalar_graphs())
+def test_properties_3_and_4_containment_disconnection(sg):
+    """Property 3/4: components nest iff subtrees nest; components are
+    disconnected iff subtrees are disconnected."""
+    st_tree = build_super_tree(build_vertex_tree(sg))
+    alphas = _all_alphas(sg.scalars)
+    # Collect (root_node, item_set) for components at all levels.
+    entries = []
+    for alpha in alphas:
+        for root in st_tree.component_roots_at(alpha):
+            entries.append((root, frozenset(st_tree.subtree_items(root).tolist())))
+    for root_a, items_a in entries:
+        for root_b, items_b in entries:
+            subtree_nested = st_tree.is_ancestor(root_b, root_a)
+            component_nested = items_a <= items_b
+            assert subtree_nested == component_nested
+
+
+@settings(**SETTINGS)
+@given(sg=scalar_graphs())
+def test_theorem_1_components_are_mccs(sg):
+    """Theorem 1: every maximal α-component is MCC(v) of its min vertex."""
+    for alpha in _all_alphas(sg.scalars):
+        for comp in maximal_alpha_components(sg, alpha):
+            v = int(comp[np.argmin(sg.scalars[comp])])
+            assert set(mcc(sg, v).tolist()) == set(comp.tolist())
+
+
+@settings(**SETTINGS)
+@given(sg=scalar_graphs())
+def test_theorem_2_equal_vertices_share_mcc(sg):
+    """Theorem 2: if v'.scalar = v.scalar and v' ∈ MCC(v), the MCCs agree."""
+    for v in range(min(sg.n_vertices, 10)):
+        comp = mcc(sg, v)
+        for w in comp:
+            w = int(w)
+            if w != v and sg.scalars[w] == sg.scalars[v]:
+                assert set(mcc(sg, w).tolist()) == set(comp.tolist())
+
+
+@settings(**SETTINGS)
+@given(sg=scalar_graphs())
+def test_theorem_3_overlapping_components_nest(sg):
+    """Theorem 3: two maximal components that touch must nest."""
+    alphas = _all_alphas(sg.scalars)
+    comps = []
+    for alpha in alphas:
+        comps.extend(
+            set(c.tolist()) for c in maximal_alpha_components(sg, alpha)
+        )
+    graph = sg.graph
+    for a in comps:
+        for b in comps:
+            touching = bool(a & b) or any(
+                int(w) in b for v in a for w in graph.neighbors(v)
+            )
+            if touching:
+                assert a <= b or b <= a
+
+
+@settings(**SETTINGS)
+@given(sg=scalar_graphs())
+def test_super_tree_structural_invariants(sg):
+    tree = build_vertex_tree(sg)
+    tree.validate()
+    st_tree = build_super_tree(tree)
+    st_tree.validate()
+    # Every super node's members share one scalar value.
+    for s, members in enumerate(st_tree.members):
+        assert np.unique(tree.scalars[members]).size == 1
+        assert st_tree.scalars[s] == tree.scalars[members[0]]
+
+
+@settings(**SETTINGS)
+@given(eg=edge_scalar_graphs())
+def test_edge_tree_matches_naive_and_brute(eg):
+    """Algorithm 3 ≡ dual-graph method ≡ Definition 3, at every α."""
+    fast = build_super_tree(build_edge_tree(eg))
+    naive = build_super_tree(build_edge_tree_naive(eg))
+    for alpha in _all_alphas(eg.scalars):
+        fast_side = sorted(tuple(sorted(c)) for c in fast.components_at(alpha))
+        naive_side = sorted(tuple(sorted(c)) for c in naive.components_at(alpha))
+        brute = sorted(
+            tuple(c) for c in maximal_alpha_edge_components(eg, alpha)
+        )
+        assert fast_side == naive_side == brute
+
+
+@settings(**SETTINGS)
+@given(
+    n=st.integers(6, 24),
+    m=st.integers(6, 60),
+    seed=st.integers(0, 5_000),
+)
+def test_proposition_4_kc_components_are_kcores(n, m, seed):
+    """Prop 4: with v.scalar = KC(v), maximal α-components are K-cores."""
+    graph = erdos_renyi(n, min(m, n * (n - 1) // 2), seed=seed)
+    kc = core_numbers(graph)
+    sg = ScalarGraph(graph, kc.astype(np.float64))
+    for alpha in sorted(set(kc.tolist())):
+        if alpha == 0:
+            continue
+        for comp in maximal_alpha_components(sg, alpha):
+            members = set(comp.tolist())
+            for v in members:
+                inside = sum(
+                    1 for w in graph.neighbors(v) if int(w) in members
+                )
+                assert inside >= alpha

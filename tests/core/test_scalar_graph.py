@@ -1,0 +1,73 @@
+"""Unit tests for ScalarGraph / EdgeScalarGraph containers."""
+
+import numpy as np
+import pytest
+
+from repro.core import EdgeScalarGraph, ScalarGraph
+from repro.graph import from_edges
+
+
+@pytest.fixture
+def graph():
+    return from_edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+
+
+class TestScalarGraph:
+    def test_basic(self, graph):
+        sg = ScalarGraph(graph, [1.0, 2.0, 3.0, 4.0])
+        assert sg.n_vertices == 4
+        assert sg.n_edges == 4
+        assert sg.scalar_of(2) == 3.0
+
+    def test_wrong_length_rejected(self, graph):
+        with pytest.raises(ValueError):
+            ScalarGraph(graph, [1.0, 2.0])
+
+    def test_nan_rejected(self, graph):
+        with pytest.raises(ValueError, match="finite"):
+            ScalarGraph(graph, [1.0, float("nan"), 3.0, 4.0])
+
+    def test_fields_validated(self, graph):
+        with pytest.raises(ValueError, match="field 'x'"):
+            ScalarGraph(graph, [1, 2, 3, 4], fields={"x": [1.0]})
+
+    def test_add_field(self, graph):
+        sg = ScalarGraph(graph, [1, 2, 3, 4])
+        sg.add_field("degree", graph.degree().astype(float))
+        assert "degree" in sg.fields
+
+    def test_with_scalars_keeps_fields(self, graph):
+        sg = ScalarGraph(graph, [1, 2, 3, 4], fields={"f": [0, 0, 0, 1.0]})
+        other = sg.with_scalars([4, 3, 2, 1])
+        assert other.scalar_of(0) == 4.0
+        assert "f" in other.fields
+        assert sg.scalar_of(0) == 1.0  # original untouched
+
+    def test_repr_mentions_fields(self, graph):
+        sg = ScalarGraph(graph, [1, 2, 3, 4], fields={"f": [0.0] * 4})
+        assert "fields=['f']" in repr(sg)
+
+
+class TestEdgeScalarGraph:
+    def test_basic(self, graph):
+        eg = EdgeScalarGraph(graph, [1.0, 2.0, 3.0, 4.0])
+        assert eg.n_edges == 4
+        assert eg.edge_pairs.shape == (4, 2)
+
+    def test_scalar_of_orientation_free(self, graph):
+        eg = EdgeScalarGraph(graph, [1.0, 2.0, 3.0, 4.0])
+        assert eg.scalar_of(0, 1) == eg.scalar_of(1, 0)
+
+    def test_length_must_match_edges(self, graph):
+        with pytest.raises(ValueError):
+            EdgeScalarGraph(graph, [1.0, 2.0])
+
+    def test_with_scalars(self, graph):
+        eg = EdgeScalarGraph(graph, [1, 2, 3, 4])
+        other = eg.with_scalars([4, 3, 2, 1])
+        assert other.scalars[0] == 4.0
+        assert eg.scalars[0] == 1.0
+
+    def test_edge_pairs_cached(self, graph):
+        eg = EdgeScalarGraph(graph, [1, 2, 3, 4])
+        assert eg.edge_pairs is eg.edge_pairs

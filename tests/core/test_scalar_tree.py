@@ -1,0 +1,115 @@
+"""Unit tests for ScalarTree and Algorithm 1."""
+
+import numpy as np
+import pytest
+
+from repro.core import ScalarGraph, ScalarTree, build_vertex_tree
+from repro.graph import from_edges
+
+
+class TestScalarTreeStructure:
+    def test_parent_scalar_invariant(self, triangle_plus_tail):
+        tree = build_vertex_tree(triangle_plus_tail)
+        tree.validate()
+        for v in range(tree.n_nodes):
+            p = tree.parent[v]
+            if p >= 0:
+                assert tree.scalars[v] >= tree.scalars[p]
+
+    def test_root_is_minimum(self, triangle_plus_tail):
+        tree = build_vertex_tree(triangle_plus_tail)
+        [root] = tree.roots
+        assert tree.scalars[root] == tree.scalars.min()
+
+    def test_forest_on_disconnected_graph(self):
+        graph = from_edges([(0, 1), (2, 3)])
+        tree = build_vertex_tree(ScalarGraph(graph, [4.0, 3.0, 2.0, 1.0]))
+        assert len(tree.roots) == 2
+
+    def test_single_vertex(self):
+        graph = from_edges([], nodes=[0])
+        tree = build_vertex_tree(ScalarGraph(graph, [1.0]))
+        assert tree.roots == [0]
+        assert tree.n_nodes == 1
+
+    def test_children_table(self, triangle_plus_tail):
+        tree = build_vertex_tree(triangle_plus_tail)
+        table = tree.children()
+        for v in range(tree.n_nodes):
+            for c in table[v]:
+                assert tree.parent[c] == v
+
+    def test_subtree_nodes(self, triangle_plus_tail):
+        tree = build_vertex_tree(triangle_plus_tail)
+        [root] = tree.roots
+        assert set(tree.subtree_nodes(root).tolist()) == {0, 1, 2, 3}
+
+    def test_depth(self, paper_fig2):
+        tree = build_vertex_tree(paper_fig2)
+        [root] = tree.roots
+        assert tree.depth(root) == 0
+        assert all(
+            tree.depth(v) == tree.depth(int(tree.parent[v])) + 1
+            for v in range(tree.n_nodes)
+            if tree.parent[v] >= 0
+        )
+
+    def test_iter_topological_parents_first(self, paper_fig2):
+        tree = build_vertex_tree(paper_fig2)
+        seen = set()
+        for node in tree.iter_topological():
+            p = tree.parent[node]
+            assert p < 0 or p in seen
+            seen.add(node)
+        assert len(seen) == tree.n_nodes
+
+
+class TestValidation:
+    def test_cycle_detected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            ScalarTree(np.array([1, 0]), np.array([1.0, 1.0])).validate()
+
+    def test_scalar_violation_detected(self):
+        tree = ScalarTree(np.array([-1, 0]), np.array([5.0, 1.0]))
+        with pytest.raises(ValueError, match="scalar"):
+            tree.validate()
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ScalarTree(np.array([-1]), np.array([1.0, 2.0]))
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ScalarTree(np.array([-1]), np.array([1.0]), kind="face")
+
+    def test_repr(self, triangle_plus_tail):
+        tree = build_vertex_tree(triangle_plus_tail)
+        assert "kind='vertex'" in repr(tree)
+
+
+class TestAlgorithm1Mechanics:
+    def test_chain_graph(self):
+        graph = from_edges([(0, 1), (1, 2), (2, 3)])
+        tree = build_vertex_tree(ScalarGraph(graph, [4.0, 3.0, 2.0, 1.0]))
+        # Monotone chain: each vertex's parent is its lower neighbour.
+        assert list(tree.parent) == [1, 2, 3, -1]
+
+    def test_peak_pair_merge(self):
+        # Two peaks (0 and 2) joined by a valley vertex 1.
+        graph = from_edges([(0, 1), (1, 2)])
+        tree = build_vertex_tree(ScalarGraph(graph, [5.0, 1.0, 4.0]))
+        assert tree.parent[0] == 1
+        assert tree.parent[2] == 1
+        assert tree.roots == [1]
+
+    def test_tie_break_is_deterministic(self):
+        graph = from_edges([(0, 1), (1, 2), (2, 0)])
+        a = build_vertex_tree(ScalarGraph(graph, [2.0, 2.0, 1.0]))
+        b = build_vertex_tree(ScalarGraph(graph, [2.0, 2.0, 1.0]))
+        assert np.array_equal(a.parent, b.parent)
+
+    def test_all_equal_values(self):
+        graph = from_edges([(0, 1), (1, 2), (2, 3)])
+        tree = build_vertex_tree(ScalarGraph(graph, [1.0] * 4))
+        tree.validate()
+        assert len(tree.roots) == 1

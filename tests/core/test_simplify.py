@@ -1,0 +1,113 @@
+"""Unit tests for tree simplification via discretization."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ScalarGraph,
+    build_super_tree,
+    build_vertex_tree,
+    discretize_quantile,
+    discretize_uniform,
+    simplify_tree,
+)
+from repro.graph.generators import erdos_renyi
+
+
+@pytest.fixture
+def busy_tree():
+    rng = np.random.default_rng(3)
+    graph = erdos_renyi(120, 300, seed=3)
+    scalars = rng.random(120) * 100
+    return build_vertex_tree(ScalarGraph(graph, scalars))
+
+
+class TestDiscretizers:
+    def test_uniform_levels(self):
+        values = np.linspace(0, 10, 101)
+        snapped = discretize_uniform(values, 5)
+        assert len(np.unique(snapped)) == 5
+        assert snapped.min() == 0.0
+
+    def test_uniform_never_raises_values(self):
+        values = np.array([0.1, 3.7, 9.9])
+        snapped = discretize_uniform(values, 4)
+        assert (snapped <= values).all()
+
+    def test_uniform_monotone(self):
+        values = np.sort(np.random.default_rng(1).random(50))
+        snapped = discretize_uniform(values, 6)
+        assert (np.diff(snapped) >= 0).all()
+
+    def test_uniform_constant_input(self):
+        values = np.full(5, 2.5)
+        assert np.array_equal(discretize_uniform(values, 3), values)
+
+    def test_uniform_rejects_zero_bins(self):
+        with pytest.raises(ValueError):
+            discretize_uniform(np.array([1.0]), 0)
+
+    def test_quantile_levels(self):
+        rng = np.random.default_rng(0)
+        values = rng.exponential(size=500)  # heavy skew
+        snapped = discretize_quantile(values, 8)
+        assert len(np.unique(snapped)) <= 8
+        # Quantile bins stay populated despite the skew.
+        assert len(np.unique(snapped)) >= 6
+
+    def test_quantile_never_raises_values(self):
+        rng = np.random.default_rng(2)
+        values = rng.random(100)
+        snapped = discretize_quantile(values, 5)
+        assert (snapped <= values + 1e-12).all()
+
+    def test_quantile_monotone(self):
+        values = np.sort(np.random.default_rng(4).random(60))
+        snapped = discretize_quantile(values, 7)
+        assert (np.diff(snapped) >= 0).all()
+
+
+class TestSimplifyTree:
+    def test_reduces_node_count(self, busy_tree):
+        exact = build_super_tree(busy_tree)
+        coarse = simplify_tree(busy_tree, 8)
+        assert coarse.n_nodes < exact.n_nodes
+        coarse.validate()
+
+    def test_fewer_bins_fewer_nodes(self, busy_tree):
+        n4 = simplify_tree(busy_tree, 4).n_nodes
+        n32 = simplify_tree(busy_tree, 32).n_nodes
+        assert n4 <= n32
+
+    def test_preserves_item_partition(self, busy_tree):
+        coarse = simplify_tree(busy_tree, 6)
+        items = sorted(x for m in coarse.members for x in m.tolist())
+        assert items == list(range(120))
+
+    def test_quantile_scheme(self, busy_tree):
+        coarse = simplify_tree(busy_tree, 6, scheme="quantile")
+        coarse.validate()
+        assert coarse.n_nodes <= build_super_tree(busy_tree).n_nodes
+
+    def test_unknown_scheme_rejected(self, busy_tree):
+        with pytest.raises(ValueError, match="scheme"):
+            simplify_tree(busy_tree, 4, scheme="log")
+
+    def test_component_structure_is_coarsening(self, busy_tree):
+        """Every simplified component is a union of exact components at
+        the corresponding snapped threshold."""
+        exact = build_super_tree(busy_tree)
+        coarse = simplify_tree(busy_tree, 8)
+        for node in range(coarse.n_nodes):
+            alpha = float(coarse.scalars[node])
+            coarse_items = set(coarse.subtree_items(node).tolist())
+            exact_comps = [
+                set(c.tolist()) for c in exact.components_at(alpha)
+            ]
+            # The coarse component must be expressible as a union of
+            # exact components at its own (snapped) level.
+            covered = set()
+            for comp in exact_comps:
+                if comp <= coarse_items:
+                    covered |= comp
+            assert covered == coarse_items

@@ -1,0 +1,71 @@
+"""Unit + property tests for union-find."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import NaiveUnionFind, UnionFind
+
+
+class TestUnionFind:
+    def test_initial_singletons(self):
+        uf = UnionFind(5)
+        assert uf.n_sets == 5
+        assert all(uf.find(i) == i for i in range(5))
+
+    def test_union_merges(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        assert uf.connected(0, 1)
+        assert not uf.connected(0, 2)
+        assert uf.n_sets == 3
+
+    def test_union_idempotent(self):
+        uf = UnionFind(3)
+        uf.union(0, 1)
+        uf.union(1, 0)
+        assert uf.n_sets == 2
+
+    def test_set_size(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.set_size(2) == 3
+        assert uf.set_size(3) == 1
+
+    def test_groups_partition(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        groups = uf.groups()
+        flat = sorted(x for g in groups for x in g)
+        assert flat == list(range(6))
+        assert sorted(map(len, groups)) == [1, 1, 2, 2]
+
+    def test_len(self):
+        assert len(UnionFind(7)) == 7
+
+    def test_union_returns_representative(self):
+        uf = UnionFind(3)
+        rep = uf.union(0, 2)
+        assert uf.find(0) == uf.find(2) == rep
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(2, 30),
+    ops=st.lists(st.tuples(st.integers(0, 29), st.integers(0, 29)), max_size=60),
+)
+def test_fast_matches_naive(n, ops):
+    """The optimized structure is observationally equal to the naive one."""
+    fast = UnionFind(n)
+    naive = NaiveUnionFind(n)
+    for a, b in ops:
+        a, b = a % n, b % n
+        fast.union(a, b)
+        naive.union(a, b)
+    assert fast.n_sets == naive.n_sets
+    for i in range(n):
+        for j in range(i + 1, n):
+            assert fast.connected(i, j) == naive.connected(i, j)

@@ -1,0 +1,142 @@
+"""Unit tests for the CSR graph substrate."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, from_edge_array, from_edges
+
+
+@pytest.fixture
+def small():
+    return from_edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+
+
+class TestConstruction:
+    def test_counts(self, small):
+        assert small.n_vertices == 4
+        assert small.n_edges == 4
+
+    def test_indptr_must_start_at_zero(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([1, 2]), np.array([0]))
+
+    def test_indptr_must_match_indices(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 2]), np.array([0]))
+
+    def test_indptr_must_be_monotone(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 2, 1, 3]), np.array([1, 2, 0]))
+
+    def test_indices_in_range(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 1]), np.array([5]))
+
+    def test_labels_length_checked(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 0]), np.array([], dtype=np.int64),
+                     labels=np.array([1, 2]))
+
+    def test_not_hashable(self, small):
+        with pytest.raises(TypeError):
+            hash(small)
+
+
+class TestAccessors:
+    def test_degree_scalar(self, small):
+        assert small.degree(2) == 3
+        assert small.degree(3) == 1
+
+    def test_degree_vector(self, small):
+        assert list(small.degree()) == [2, 2, 3, 1]
+
+    def test_neighbors_sorted(self, small):
+        assert list(small.neighbors(2)) == [0, 1, 3]
+
+    def test_has_edge(self, small):
+        assert small.has_edge(0, 1)
+        assert small.has_edge(1, 0)
+        assert not small.has_edge(0, 3)
+
+    def test_edges_each_once(self, small):
+        assert sorted(small.edges()) == [(0, 1), (0, 2), (1, 2), (2, 3)]
+
+    def test_edge_array_matches_edges(self, small):
+        assert [tuple(e) for e in small.edge_array()] == sorted(small.edges())
+
+    def test_edge_id_roundtrip(self, small):
+        for eid, (u, v) in enumerate(small.edge_array()):
+            assert small.edge_id(int(u), int(v)) == eid
+            assert small.edge_id(int(v), int(u)) == eid
+
+    def test_edge_id_missing_raises(self, small):
+        with pytest.raises(KeyError):
+            small.edge_id(0, 3)
+
+    def test_len_and_iter(self, small):
+        assert len(small) == 4
+        assert list(small) == [0, 1, 2, 3]
+
+    def test_label_of_default_identity(self, small):
+        assert small.label_of(2) == 2
+
+    def test_labels_preserved_by_from_edges(self):
+        g = from_edges([("a", "b"), ("b", "c")])
+        assert [g.label_of(i) for i in g] == ["a", "b", "c"]
+
+
+class TestSubgraph:
+    def test_induced_edges(self, small):
+        sub = small.subgraph([0, 1, 2])
+        assert sub.n_vertices == 3
+        assert sorted(sub.edges()) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_labels_map_back(self, small):
+        sub = small.subgraph([2, 3])
+        assert list(sub.labels) == [2, 3]
+        assert sorted(sub.edges()) == [(0, 1)]
+
+    def test_duplicate_input_vertices_collapsed(self, small):
+        sub = small.subgraph([1, 1, 2])
+        assert sub.n_vertices == 2
+
+    def test_empty_selection(self, small):
+        sub = small.subgraph([])
+        assert sub.n_vertices == 0
+        assert sub.n_edges == 0
+
+
+class TestComponents:
+    def test_single_component(self, small):
+        assert small.n_components() == 1
+
+    def test_two_components(self):
+        g = from_edges([(0, 1), (2, 3)])
+        comp = g.connected_components()
+        assert comp[0] == comp[1]
+        assert comp[2] == comp[3]
+        assert comp[0] != comp[2]
+        assert g.n_components() == 2
+
+    def test_isolated_vertices(self):
+        g = from_edge_array(np.array([[0, 1]]), n_vertices=4)
+        assert g.n_components() == 3
+
+    def test_empty_graph(self):
+        g = from_edge_array(np.empty((0, 2), dtype=np.int64), n_vertices=0)
+        assert g.n_components() == 0
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        a = from_edges([(0, 1), (1, 2)])
+        b = from_edges([(1, 2), (0, 1)])
+        assert a == b
+
+    def test_unequal_graphs(self):
+        a = from_edges([(0, 1)])
+        b = from_edges([(0, 1), (1, 2)])
+        assert a != b
+
+    def test_repr(self, small):
+        assert "n_vertices=4" in repr(small)

@@ -1,0 +1,104 @@
+"""Unit tests for the dataset registry (Table I stand-ins)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import datasets
+
+
+class TestRegistry:
+    def test_names_cover_table1(self):
+        assert set(datasets.names()) == {
+            "grqc", "wikivote", "wikipedia", "ppi",
+            "cit_patent", "amazon", "astro", "dblp",
+        }
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            datasets.load("enron")
+
+    def test_caching_returns_same_object(self):
+        assert datasets.load("grqc") is datasets.load("grqc")
+
+    def test_dataset_table_rows(self):
+        rows = datasets.dataset_table(include_large=False)
+        names = [r["dataset"] for r in rows]
+        assert "wikipedia" not in names
+        assert all(r["nodes"] > 0 and r["edges"] > 0 for r in rows)
+
+    def test_size_ordering_matches_paper(self):
+        # Wikipedia and Cit-Patent are by far the largest in Table I.
+        small = datasets.load("grqc").n_edges
+        big = datasets.load("wikipedia").n_edges
+        assert big > 10 * small
+
+
+class TestPlantedStructure:
+    def test_grqc_has_disconnected_dense_cores(self):
+        from repro.core import ScalarGraph, maximal_alpha_components
+        from repro.measures import core_numbers
+
+        ds = datasets.load("grqc")
+        kc = core_numbers(ds.graph)
+        sg = ScalarGraph(ds.graph, kc.astype(float))
+        # At the level of the second-densest planted clique there must
+        # be at least two disconnected dense components.
+        sizes = sorted((len(c) for c in ds.planted["cliques"]), reverse=True)
+        alpha = sizes[1] - 1
+        comps = maximal_alpha_components(sg, alpha)
+        assert len(comps) >= 2
+
+    def test_wikivote_single_dominant_core(self):
+        from repro.core import ScalarGraph, maximal_alpha_components
+        from repro.measures import core_numbers
+
+        ds = datasets.load("wikivote")
+        kc = core_numbers(ds.graph)
+        sg = ScalarGraph(ds.graph, kc.astype(float))
+        comps = maximal_alpha_components(sg, float(kc.max()))
+        assert len(comps) == 1
+
+    def test_amazon_roles_all_present(self):
+        ds = datasets.load("amazon")
+        assert set(np.unique(ds.planted["roles"])) == {0, 1, 2, 3}
+
+    def test_astro_bridges_low_relative_degree(self):
+        ds = datasets.load("astro")
+        bridges = ds.planted["bridges"]
+        deg = ds.graph.degree()
+        # Bridges have 5 attachments per side (degree 10) — well below
+        # the hubs of a power-law community.
+        assert deg[bridges].max() <= 10
+        assert deg.max() > 3 * deg[bridges].max()
+
+    def test_astro_connected_only_through_bridges(self):
+        ds = datasets.load("astro")
+        bridges = set(ds.planted["bridges"].tolist())
+        graph = ds.graph
+        assert graph.n_components() == 1
+        keep = [v for v in range(graph.n_vertices) if v not in bridges]
+        assert graph.subgraph(keep).n_components() >= 3
+
+    def test_dblp_affiliation_partition(self):
+        ds = datasets.load("dblp")
+        aff = ds.planted["affiliation"]
+        assert aff.shape[0] == ds.n_vertices
+        assert aff.shape[1] == 4
+        members = np.ones(ds.n_vertices, dtype=bool)
+        members[ds.planted["connectors"]] = False
+        assert (aff[members].sum(axis=1) >= 1).all()
+        assert (aff[~members].sum(axis=1) == 0).all()
+
+    def test_role_community_graph_custom(self):
+        graph, roles, community = datasets.role_community_graph(
+            n_communities=2, dense_size=6, periphery_size=4,
+            whisker_length=2, seed=1,
+        )
+        assert graph.n_vertices == len(roles) == len(community)
+        assert (np.bincount(roles, minlength=4) > 0).all()
+        # Hub has the top degree in its community.
+        deg = graph.degree()
+        for c in range(2):
+            members = np.flatnonzero(community == c)
+            hub = members[roles[members] == 0][0]
+            assert deg[hub] == deg[members].max()

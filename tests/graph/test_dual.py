@@ -1,0 +1,47 @@
+"""Unit tests for line-graph (edge dual) construction."""
+
+import networkx as nx
+import numpy as np
+
+from repro.graph import from_edges, from_networkx, line_graph
+
+
+class TestLineGraph:
+    def test_triangle(self):
+        g = from_edges([(0, 1), (1, 2), (2, 0)])
+        dual, pairs = line_graph(g)
+        # Line graph of a triangle is a triangle.
+        assert dual.n_vertices == 3
+        assert dual.n_edges == 3
+
+    def test_star(self):
+        g = from_edges([(0, 1), (0, 2), (0, 3), (0, 4)])
+        dual, __ = line_graph(g)
+        # Line graph of K_{1,4} is K_4.
+        assert dual.n_vertices == 4
+        assert dual.n_edges == 6
+
+    def test_pairs_align_with_edge_ids(self):
+        g = from_edges([(0, 1), (1, 2), (2, 3)])
+        __, pairs = line_graph(g)
+        assert np.array_equal(pairs, g.edge_array())
+
+    def test_matches_networkx(self):
+        G = nx.gnm_random_graph(20, 40, seed=5)
+        g = from_networkx(G)
+        dual, pairs = line_graph(g)
+        L = nx.line_graph(G)
+        assert dual.n_vertices == L.number_of_nodes()
+        assert dual.n_edges == L.number_of_edges()
+        # Adjacency agrees under the edge-id mapping.
+        id_of = {tuple(p): i for i, p in enumerate(map(tuple, pairs))}
+        for (a, b) in L.edges():
+            ia = id_of[tuple(sorted(a))]
+            ib = id_of[tuple(sorted(b))]
+            assert dual.has_edge(ia, ib)
+
+    def test_empty_graph(self):
+        g = from_edges([], nodes=[0, 1])
+        dual, pairs = line_graph(g)
+        assert dual.n_vertices == 0
+        assert len(pairs) == 0

@@ -1,0 +1,141 @@
+"""Unit tests for random-graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        g = gen.erdos_renyi(30, 50, seed=1)
+        assert g.n_vertices == 30
+        assert g.n_edges == 50
+
+    def test_deterministic(self):
+        a = gen.erdos_renyi(30, 50, seed=2)
+        b = gen.erdos_renyi(30, 50, seed=2)
+        assert a == b
+
+    def test_seed_changes_graph(self):
+        a = gen.erdos_renyi(30, 50, seed=2)
+        b = gen.erdos_renyi(30, 50, seed=3)
+        assert a != b
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError):
+            gen.erdos_renyi(4, 10)
+
+
+class TestBarabasiAlbert:
+    def test_sizes(self):
+        g = gen.barabasi_albert(100, 3, seed=0)
+        assert g.n_vertices == 100
+        # Each of the 97 added vertices brings at most 3 new edges.
+        assert g.n_edges <= 3 * 97
+        assert g.n_edges >= 97
+
+    def test_heavy_tail(self):
+        g = gen.barabasi_albert(400, 2, seed=1)
+        deg = g.degree()
+        assert deg.max() > 4 * np.median(deg)
+
+    def test_requires_n_above_m(self):
+        with pytest.raises(ValueError):
+            gen.barabasi_albert(3, 3)
+
+
+class TestRingAndSmallWorld:
+    def test_ring_lattice_degrees(self):
+        g = gen.ring_lattice(20, 2)
+        assert all(d == 4 for d in g.degree())
+
+    def test_watts_strogatz_p0_is_lattice(self):
+        assert gen.watts_strogatz(20, 2, 0.0, seed=0) == gen.ring_lattice(20, 2)
+
+    def test_watts_strogatz_rewires(self):
+        g = gen.watts_strogatz(50, 2, 0.5, seed=0)
+        assert g != gen.ring_lattice(50, 2)
+
+
+class TestPowerlawCluster:
+    def test_sizes_and_clustering(self):
+        from repro.measures import average_clustering
+
+        g = gen.powerlaw_cluster(300, 3, 0.7, seed=0)
+        assert g.n_vertices == 300
+        flat = gen.barabasi_albert(300, 3, seed=0)
+        assert average_clustering(g) > average_clustering(flat)
+
+    def test_deterministic(self):
+        assert gen.powerlaw_cluster(100, 2, 0.5, seed=4) == gen.powerlaw_cluster(
+            100, 2, 0.5, seed=4
+        )
+
+
+class TestPlantedPartition:
+    def test_membership_shape(self):
+        g, member = gen.planted_partition([20, 30], 0.5, 0.02, seed=0)
+        assert g.n_vertices == 50
+        assert (member[:20] == 0).all()
+        assert (member[20:] == 1).all()
+
+    def test_blocks_denser_inside(self):
+        g, member = gen.planted_partition([25, 25], 0.6, 0.02, seed=1)
+        inside = outside = 0
+        for u, v in g.edges():
+            if member[u] == member[v]:
+                inside += 1
+            else:
+                outside += 1
+        assert inside > 5 * outside
+
+
+class TestOverlappingCommunities:
+    def test_affiliation_overlap(self):
+        g, aff = gen.overlapping_communities(3, 30, 5, 0.4, 0.0, seed=0)
+        assert aff.shape == (g.n_vertices, 3)
+        assert (aff.sum(axis=1) > 1).sum() == 2 * 5  # two overlap zones
+
+    def test_heterogeneous_p_in(self):
+        g, aff = gen.overlapping_communities(
+            2, 30, 0, (0.8, 0.1), 0.0, seed=0
+        )
+        deg = g.degree()
+        dense = np.flatnonzero(aff[:, 0])
+        sparse = np.flatnonzero(aff[:, 1])
+        assert deg[dense].mean() > 3 * deg[sparse].mean()
+
+    def test_wrong_p_in_length_rejected(self):
+        with pytest.raises(ValueError):
+            gen.overlapping_communities(3, 30, 5, (0.5, 0.5), 0.0)
+
+
+class TestStructuredGenerators:
+    def test_connected_caveman(self):
+        g = gen.connected_caveman(4, 5)
+        assert g.n_vertices == 20
+        # 4 cliques of C(5,2)=10 edges + 4 ring edges.
+        assert g.n_edges == 44
+
+    def test_hub_and_spoke(self):
+        g = gen.hub_and_spoke(5, spoke_length=2)
+        assert g.n_vertices == 11
+        assert g.degree(0) == 5
+
+    def test_planted_cliques_disconnected_at_high_core(self):
+        from repro.measures import core_numbers
+
+        g, cliques = gen.planted_cliques(200, 400, [10, 8], seed=0)
+        kc = core_numbers(g)
+        for members in cliques:
+            # A k-clique sits in a (k-1)-core.
+            assert kc[members].min() >= len(members) - 1
+
+    def test_nested_core_single_dense_center(self):
+        from repro.measures import core_numbers
+
+        g = gen.nested_core(3, 20, seed=0)
+        kc = core_numbers(g)
+        layer = np.arange(g.n_vertices) // 20
+        assert kc[layer == 0].mean() > kc[layer == 2].mean()

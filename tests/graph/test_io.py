@@ -1,0 +1,79 @@
+"""Unit tests for edge-list and scalar-field I/O."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edges
+from repro.graph.io import (
+    read_edge_list,
+    read_edge_scalars,
+    read_vertex_scalars,
+    write_edge_list,
+    write_edge_scalars,
+    write_vertex_scalars,
+)
+
+
+@pytest.fixture
+def small():
+    return from_edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+
+
+class TestEdgeList:
+    def test_roundtrip(self, small, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edge_list(small, path, header="test graph")
+        back = read_edge_list(path)
+        assert back == small
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n\n0 1\n1 2\n")
+        g = read_edge_list(path)
+        assert g.n_edges == 2
+
+    def test_extra_columns_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 0.5\n1 2 0.9\n")
+        g = read_edge_list(path)
+        assert g.n_edges == 2
+
+    def test_explicit_vertex_count(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        g = read_edge_list(path, n_vertices=5)
+        assert g.n_vertices == 5
+
+
+class TestVertexScalars:
+    def test_roundtrip(self, tmp_path):
+        values = np.array([0.5, 1.25, -3.0, 42.0])
+        path = tmp_path / "s.txt"
+        write_vertex_scalars(values, path)
+        back = read_vertex_scalars(path, 4)
+        assert np.allclose(back, values)
+
+    def test_missing_vertex_rejected(self, tmp_path):
+        path = tmp_path / "s.txt"
+        path.write_text("0 1.0\n2 2.0\n")
+        with pytest.raises(ValueError, match="no scalar value"):
+            read_vertex_scalars(path, 3)
+
+
+class TestEdgeScalars:
+    def test_roundtrip(self, small, tmp_path):
+        values = np.arange(small.n_edges, dtype=np.float64) + 0.5
+        path = tmp_path / "es.txt"
+        write_edge_scalars(small, values, path)
+        back = read_edge_scalars(path, small)
+        assert np.allclose(back, values)
+
+    def test_wrong_length_rejected(self, small, tmp_path):
+        with pytest.raises(ValueError):
+            write_edge_scalars(small, np.zeros(2), tmp_path / "x.txt")
+
+    def test_missing_edge_rejected(self, small, tmp_path):
+        path = tmp_path / "es.txt"
+        path.write_text("0 1 1.0\n")
+        with pytest.raises(ValueError, match="no scalar value"):
+            read_edge_scalars(path, small)

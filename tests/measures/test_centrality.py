@@ -1,0 +1,140 @@
+"""Unit tests for centrality measures (cross-checked with networkx)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import from_edges, from_networkx
+from repro.measures import (
+    betweenness_centrality,
+    closeness_centrality,
+    degree_centrality,
+    harmonic_centrality,
+    pagerank,
+)
+
+
+@pytest.fixture(scope="module")
+def random_pair():
+    G = nx.gnm_random_graph(60, 180, seed=11)
+    return G, from_networkx(G)
+
+
+class TestDegree:
+    def test_normalized(self, random_pair):
+        G, g = random_pair
+        ours = degree_centrality(g)
+        theirs = nx.degree_centrality(G)
+        assert all(abs(ours[v] - theirs[v]) < 1e-12 for v in G)
+
+    def test_raw(self, random_pair):
+        G, g = random_pair
+        raw = degree_centrality(g, normalized=False)
+        assert all(raw[v] == G.degree(v) for v in G)
+
+
+class TestCloseness:
+    def test_matches_networkx(self, random_pair):
+        G, g = random_pair
+        ours = closeness_centrality(g)
+        theirs = nx.closeness_centrality(G)
+        assert all(abs(ours[v] - theirs[v]) < 1e-9 for v in G)
+
+    def test_disconnected(self):
+        G = nx.Graph([(0, 1), (2, 3)])
+        g = from_networkx(G)
+        ours = closeness_centrality(g)
+        theirs = nx.closeness_centrality(G)
+        assert all(abs(ours[v] - theirs[v]) < 1e-9 for v in G)
+
+
+class TestHarmonic:
+    def test_matches_networkx(self, random_pair):
+        G, g = random_pair
+        ours = harmonic_centrality(g)
+        theirs = nx.harmonic_centrality(G)
+        assert all(abs(ours[v] - theirs[v]) < 1e-9 for v in G)
+
+    def test_isolated_zero(self):
+        g = from_edges([(0, 1)], nodes=[0, 1, 2])
+        assert harmonic_centrality(g)[2] == 0.0
+
+
+class TestPagerank:
+    def test_matches_networkx(self, random_pair):
+        G, g = random_pair
+        ours = pagerank(g)
+        theirs = nx.pagerank(G, alpha=0.85, tol=1e-12, max_iter=500)
+        assert all(abs(ours[v] - theirs[v]) < 1e-8 for v in G)
+
+    def test_sums_to_one(self, random_pair):
+        __, g = random_pair
+        assert pagerank(g).sum() == pytest.approx(1.0)
+
+    def test_dangling_vertices(self):
+        g = from_edges([(0, 1)], nodes=[0, 1, 2])
+        pr = pagerank(g)
+        assert pr.sum() == pytest.approx(1.0)
+        assert pr[2] > 0
+
+    def test_empty(self):
+        g = from_edges([], nodes=[])
+        assert len(pagerank(g)) == 0
+
+
+class TestBetweenness:
+    def test_exact_matches_networkx(self, random_pair):
+        G, g = random_pair
+        ours = betweenness_centrality(g)
+        theirs = nx.betweenness_centrality(G)
+        assert all(abs(ours[v] - theirs[v]) < 1e-9 for v in G)
+
+    def test_unnormalized(self, random_pair):
+        G, g = random_pair
+        ours = betweenness_centrality(g, normalized=False)
+        theirs = nx.betweenness_centrality(G, normalized=False)
+        assert all(abs(ours[v] - theirs[v]) < 1e-9 for v in G)
+
+    def test_star_center(self):
+        g = from_edges([(0, i) for i in range(1, 6)])
+        bc = betweenness_centrality(g, normalized=False)
+        assert bc[0] == pytest.approx(10.0)  # C(5, 2) pairs
+        assert np.allclose(bc[1:], 0.0)
+
+    def test_sampled_estimator_close(self):
+        G = nx.gnm_random_graph(120, 480, seed=5)
+        g = from_networkx(G)
+        exact = betweenness_centrality(g)
+        approx = betweenness_centrality(g, samples=60, seed=1)
+        # Correlated estimate, not exact.
+        rho = np.corrcoef(exact, approx)[0, 1]
+        assert rho > 0.9
+
+    def test_tiny_graph(self):
+        g = from_edges([(0, 1)])
+        assert (betweenness_centrality(g) == 0).all()
+
+
+class TestEigenvector:
+    def test_matches_networkx(self):
+        # networkx's numpy variant requires a connected graph.
+        from repro.measures import eigenvector_centrality
+
+        G = nx.karate_club_graph()
+        g = from_networkx(G)
+        ours = eigenvector_centrality(g)
+        theirs = nx.eigenvector_centrality_numpy(G)
+        assert all(abs(ours[v] - theirs[v]) < 1e-5 for v in G)
+
+    def test_star_center_dominates(self):
+        from repro.measures import eigenvector_centrality
+
+        g = from_edges([(0, i) for i in range(1, 8)])
+        ec = eigenvector_centrality(g)
+        assert ec[0] == ec.max()
+
+    def test_unit_norm(self, random_pair):
+        from repro.measures import eigenvector_centrality
+
+        __, g = random_pair
+        assert np.linalg.norm(eigenvector_centrality(g)) == pytest.approx(1.0)

@@ -1,0 +1,89 @@
+"""Unit tests for community detection (BigCLAM + label propagation)."""
+
+from itertools import permutations
+
+import numpy as np
+import pytest
+
+from repro.graph import datasets, from_edges
+from repro.graph.generators import planted_partition
+from repro.measures import bigclam, community_scores, label_propagation
+
+
+class TestLabelPropagation:
+    def test_two_cliques(self):
+        edges = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        edges += [(i, j) for i in range(5, 10) for j in range(i + 1, 10)]
+        edges += [(4, 5)]
+        g = from_edges(edges)
+        labels = label_propagation(g, seed=0)
+        assert len(set(labels[:5])) == 1
+        assert len(set(labels[5:])) == 1
+        assert labels[0] != labels[9]
+
+    def test_labels_compacted(self):
+        g, __ = planted_partition([15, 15, 15], 0.6, 0.01, seed=2)
+        labels = label_propagation(g, seed=0)
+        assert labels.min() == 0
+        assert set(labels.tolist()) == set(range(labels.max() + 1))
+
+    def test_isolated_vertex_keeps_own_label(self):
+        g = from_edges([(0, 1)], nodes=[0, 1, 2])
+        labels = label_propagation(g, seed=0)
+        assert labels[2] not in (labels[0],)
+
+
+class TestBigclam:
+    def test_planted_recovery(self):
+        g, member = planted_partition([25, 25], 0.5, 0.02, seed=3)
+        F = bigclam(g, 2, max_iter=40, seed=0)
+        hard = F.argmax(axis=1)
+        acc = max(
+            np.mean([p[h] == m for h, m in zip(hard, member)])
+            for p in permutations(range(2))
+        )
+        assert acc >= 0.9
+
+    def test_dblp_standin_recovery_off_overlap(self):
+        ds = datasets.load("dblp")
+        aff = ds.planted["affiliation"]
+        F = bigclam(ds.graph, 4, max_iter=40, seed=1)
+        hard = F.argmax(axis=1)
+        planted = aff.argmax(axis=1)
+        off_overlap = aff.sum(axis=1) == 1
+        best = max(
+            np.mean(
+                [p[h] == q for h, q in
+                 zip(hard[off_overlap], planted[off_overlap])]
+            )
+            for p in permutations(range(4))
+        )
+        assert best >= 0.75
+
+    def test_nonnegative(self):
+        g, __ = planted_partition([20, 20], 0.5, 0.02, seed=4)
+        F = bigclam(g, 2, max_iter=20, seed=0)
+        assert (F >= 0).all()
+
+    def test_invalid_k(self):
+        g = from_edges([(0, 1)])
+        with pytest.raises(ValueError):
+            bigclam(g, 0)
+
+    def test_deterministic(self):
+        g, __ = planted_partition([15, 15], 0.5, 0.02, seed=5)
+        a = bigclam(g, 2, max_iter=15, seed=7)
+        b = bigclam(g, 2, max_iter=15, seed=7)
+        assert np.allclose(a, b)
+
+
+class TestCommunityScores:
+    def test_normalized_to_unit_max(self):
+        F = np.array([[2.0, 0.0], [1.0, 4.0]])
+        scores = community_scores(F)
+        assert np.allclose(scores.max(axis=0), 1.0)
+
+    def test_zero_column_safe(self):
+        F = np.array([[0.0, 1.0], [0.0, 2.0]])
+        scores = community_scores(F)
+        assert np.allclose(scores[:, 0], 0.0)

@@ -1,0 +1,58 @@
+"""Unit tests for k-core decomposition (Batagelj–Zaversnik)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import from_edges, from_networkx
+from repro.graph.generators import connected_caveman, erdos_renyi
+from repro.measures import core_numbers, degeneracy, k_core_subgraph
+
+
+class TestCoreNumbers:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_networkx(self, seed):
+        G = nx.gnm_random_graph(80, 240, seed=seed)
+        g = from_networkx(G)
+        ours = core_numbers(g)
+        theirs = nx.core_number(G)
+        assert all(ours[v] == theirs[v] for v in G)
+
+    def test_clique(self):
+        g = from_edges([(i, j) for i in range(5) for j in range(i + 1, 5)])
+        assert (core_numbers(g) == 4).all()
+
+    def test_tree_is_1_core(self):
+        g = from_edges([(0, 1), (1, 2), (1, 3), (3, 4)])
+        assert (core_numbers(g) == 1).all()
+
+    def test_isolated_vertices_zero(self):
+        g = from_edges([(0, 1)], nodes=[0, 1, 2])
+        assert core_numbers(g)[2] == 0
+
+    def test_empty_graph(self):
+        g = from_edges([], nodes=[])
+        assert len(core_numbers(g)) == 0
+
+    def test_caveman_cores(self):
+        g = connected_caveman(3, 5)
+        # Each 5-clique is a 4-core.
+        assert (core_numbers(g) == 4).all()
+
+
+class TestDerived:
+    def test_k_core_subgraph_members(self):
+        G = nx.gnm_random_graph(60, 150, seed=3)
+        g = from_networkx(G)
+        k = 3
+        ours = set(k_core_subgraph(g, k).tolist())
+        theirs = set(nx.k_core(G, k).nodes())
+        assert ours == theirs
+
+    def test_degeneracy(self):
+        g = erdos_renyi(50, 120, seed=1)
+        assert degeneracy(g) == int(core_numbers(g).max())
+
+    def test_degeneracy_empty(self):
+        g = from_edges([], nodes=[])
+        assert degeneracy(g) == 0

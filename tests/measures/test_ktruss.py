@@ -1,0 +1,65 @@
+"""Unit tests for k-truss decomposition.
+
+Convention note: our KT(e) counts *triangles* (the paper's Definition
+5); networkx's ``k_truss(G, k)`` keeps edges with at least ``k − 2``
+triangles, so ours at level k corresponds to networkx at ``k + 2``.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import from_edges, from_networkx
+from repro.graph.generators import connected_caveman
+from repro.measures import k_truss_edges, max_truss, truss_numbers
+
+
+class TestTrussNumbers:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_networkx_at_all_levels(self, seed):
+        G = nx.gnm_random_graph(50, 200, seed=seed)
+        g = from_networkx(G)
+        kt = truss_numbers(g)
+        pairs = g.edge_array()
+        for k in range(int(kt.max()) + 1):
+            ours = set(map(tuple, pairs[kt >= k]))
+            theirs = {
+                tuple(sorted(e)) for e in nx.k_truss(G, k + 2).edges()
+            }
+            assert ours == theirs
+
+    def test_clique(self):
+        g = from_edges([(i, j) for i in range(6) for j in range(i + 1, 6)])
+        # Every edge of K6 lies in 4 triangles.
+        assert (truss_numbers(g) == 4).all()
+
+    def test_triangle_free(self):
+        g = from_edges([(0, 1), (1, 2), (2, 3)])
+        assert (truss_numbers(g) == 0).all()
+
+    def test_empty(self):
+        g = from_edges([], nodes=[0, 1])
+        assert len(truss_numbers(g)) == 0
+
+    def test_caveman(self):
+        # 4 cliques: the ring of connector vertices has no triangle
+        # (with 3 cliques the ring itself would be one).
+        g = connected_caveman(4, 5)
+        kt = truss_numbers(g)
+        # Clique edges sit in 3 triangles; the ring edges in none.
+        assert sorted(np.unique(kt).tolist()) == [0, 3]
+
+
+class TestDerived:
+    def test_k_truss_edges(self):
+        g = connected_caveman(2, 5)
+        dense = k_truss_edges(g, 3)
+        assert len(dense) == 2 * 10  # both cliques' edges
+
+    def test_max_truss(self):
+        g = from_edges([(i, j) for i in range(5) for j in range(i + 1, 5)])
+        assert max_truss(g) == 3
+
+    def test_max_truss_empty(self):
+        g = from_edges([], nodes=[0])
+        assert max_truss(g) == 0

@@ -1,0 +1,90 @@
+"""Unit tests for role extraction and k-means."""
+
+import numpy as np
+import pytest
+
+from repro.graph import datasets
+from repro.graph.generators import erdos_renyi
+from repro.measures import (
+    ROLE_NAMES,
+    extract_roles,
+    kmeans,
+    role_affinities,
+    role_features,
+)
+
+
+class TestRoleFeatures:
+    def test_shape_and_standardization(self):
+        g = erdos_renyi(60, 150, seed=1)
+        feats = role_features(g)
+        assert feats.shape == (60, 4)
+        assert np.allclose(feats.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_constant_feature_safe(self):
+        # A clique: clustering coefficient constant → std 0 handled.
+        from repro.graph import from_edges
+
+        g = from_edges([(i, j) for i in range(5) for j in range(i + 1, 5)])
+        feats = role_features(g)
+        assert np.isfinite(feats).all()
+
+
+class TestExtractRoles:
+    def test_planted_amazon_roles_recovered(self):
+        ds = datasets.load("amazon")
+        roles = extract_roles(ds.graph)
+        acc = (roles == ds.planted["roles"]).mean()
+        assert acc >= 0.9
+
+    def test_custom_role_graph(self):
+        graph, truth, __ = datasets.role_community_graph(
+            n_communities=3, dense_size=12, periphery_size=8,
+            whisker_length=3, seed=5,
+        )
+        roles = extract_roles(graph)
+        assert (roles == truth).mean() >= 0.8
+
+    def test_role_names_align(self):
+        assert ROLE_NAMES == ("hub", "dense", "periphery", "whisker")
+
+
+class TestRoleAffinities:
+    def test_rows_sum_to_one(self):
+        g = erdos_renyi(40, 100, seed=2)
+        affin = role_affinities(g)
+        assert affin.shape == (40, 4)
+        assert np.allclose(affin.sum(axis=1), 1.0)
+
+    def test_argmax_matches_hard_roles(self):
+        ds = datasets.load("amazon")
+        affin = role_affinities(ds.graph)
+        hard = extract_roles(ds.graph)
+        assert np.array_equal(affin.argmax(axis=1), hard)
+
+    def test_deterministic(self):
+        g = erdos_renyi(30, 80, seed=3)
+        assert np.allclose(role_affinities(g), role_affinities(g))
+
+
+class TestKmeans:
+    def test_separated_blobs(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 0.1, (30, 2))
+        b = rng.normal(5, 0.1, (30, 2))
+        labels, centroids = kmeans(np.vstack([a, b]), 2, seed=0)
+        assert len(set(labels[:30])) == 1
+        assert len(set(labels[30:])) == 1
+        assert labels[0] != labels[59]
+
+    def test_k_exceeding_points_rejected(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((3, 2)), 5)
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(1)
+        pts = rng.random((50, 3))
+        la, ca = kmeans(pts, 4, seed=9)
+        lb, cb = kmeans(pts, 4, seed=9)
+        assert np.array_equal(la, lb)
+        assert np.allclose(ca, cb)

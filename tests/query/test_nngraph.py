@@ -1,0 +1,96 @@
+"""Unit tests for NN-graph construction and the plant-query table."""
+
+import numpy as np
+import pytest
+
+from repro.query import knn_graph, plant_query_table, radius_graph
+
+
+class TestKnnGraph:
+    def test_minimum_degree_k(self):
+        rng = np.random.default_rng(0)
+        points = rng.random((50, 3))
+        g = knn_graph(points, k=4)
+        assert g.n_vertices == 50
+        # Symmetrised kNN: every vertex keeps at least its own k links.
+        assert (g.degree() >= 4).all()
+
+    def test_nearest_neighbor_is_edge(self):
+        rng = np.random.default_rng(1)
+        points = rng.random((30, 2))
+        g = knn_graph(points, k=1)
+        for v in range(30):
+            d = np.linalg.norm(points - points[v], axis=1)
+            d[v] = np.inf
+            assert g.has_edge(v, int(d.argmin()))
+
+    def test_invalid_k(self):
+        points = np.zeros((5, 2))
+        with pytest.raises(ValueError):
+            knn_graph(points, k=0)
+        with pytest.raises(ValueError):
+            knn_graph(points, k=5)
+
+
+class TestRadiusGraph:
+    def test_pairs_within_eps(self):
+        points = np.array([[0.0, 0], [0.1, 0], [5.0, 0]])
+        g = radius_graph(points, eps=0.5)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(0, 2)
+        assert g.n_vertices == 3
+
+    def test_matches_bruteforce(self):
+        rng = np.random.default_rng(2)
+        points = rng.random((40, 2))
+        eps = 0.2
+        g = radius_graph(points, eps)
+        for u in range(40):
+            for v in range(u + 1, 40):
+                close = np.linalg.norm(points[u] - points[v]) <= eps
+                assert g.has_edge(u, v) == close
+
+
+class TestPlantTable:
+    def test_shapes(self):
+        table, genus = plant_query_table(per_genus=40, seed=0)
+        assert table.shape == (120, 5)
+        assert np.bincount(genus).tolist() == [40, 40, 40]
+
+    def test_deterministic(self):
+        a, __ = plant_query_table(seed=3)
+        b, __ = plant_query_table(seed=3)
+        assert np.allclose(a, b)
+
+    def test_blue_genus_separated(self):
+        """Fig 11(i): genus 2 is well separated from the other two."""
+        table, genus = plant_query_table(seed=0)
+        g = knn_graph(table, k=5)
+        cross = sum(
+            1 for u, v in g.edges()
+            if (genus[u] == 2) != (genus[v] == 2)
+        )
+        within_blue = sum(
+            1 for u, v in g.edges() if genus[u] == 2 and genus[v] == 2
+        )
+        assert cross < 0.05 * within_blue
+
+    def test_attribute0_more_separable(self):
+        """Fig 11(iii): attribute 0 separates genera more than attr 1."""
+        table, genus = plant_query_table(seed=0)
+
+        def between_within_ratio(col):
+            overall = table[:, col].var()
+            within = np.mean(
+                [table[genus == g0, col].var() for g0 in range(3)]
+            )
+            return (overall - within) / within
+
+        assert between_within_ratio(0) > between_within_ratio(1)
+
+    def test_red_nested_in_green_range(self):
+        table, genus = plant_query_table(seed=0)
+        red = table[genus == 0, 0]
+        green = table[genus == 1, 0]
+        assert red.min() > green.min()
+        assert red.max() < green.max()

@@ -1,0 +1,56 @@
+"""Unit tests for the simulated participant model."""
+
+import numpy as np
+import pytest
+
+from repro.study import SimulatedParticipant, VisualSignal
+
+
+class TestModel:
+    def test_p_correct_bounds(self):
+        p = SimulatedParticipant(0)
+        worst = VisualSignal(0.0, 0.0, 100.0)
+        best = VisualSignal(1.0, 1.0, 0.0)
+        assert p.p_correct(worst) == 0.05
+        assert p.p_correct(best) == 1.0
+
+    def test_discriminability_raises_accuracy(self):
+        p = SimulatedParticipant(0)
+        low = VisualSignal(0.5, 0.2, 1.0)
+        high = VisualSignal(0.5, 0.9, 1.0)
+        assert p.p_correct(high) > p.p_correct(low)
+
+    def test_trace_cost_slows_response(self):
+        p = SimulatedParticipant(0)
+        quick = VisualSignal(0.8, 0.8, 0.0)
+        slow = VisualSignal(0.8, 0.8, 8.0)
+        assert p.expected_time(slow) > p.expected_time(quick)
+
+    def test_visibility_speeds_search(self):
+        p = SimulatedParticipant(0)
+        visible = VisualSignal(0.9, 0.5, 1.0)
+        hidden = VisualSignal(0.1, 0.5, 1.0)
+        assert p.expected_time(visible) < p.expected_time(hidden)
+
+    def test_attempt_noise_seeded(self):
+        sig = VisualSignal(0.5, 0.5, 1.0)
+        a = SimulatedParticipant(7).attempt(sig)
+        b = SimulatedParticipant(7).attempt(sig)
+        assert a == b
+
+    def test_attempt_statistics(self):
+        """Empirical accuracy over many seeded participants approaches
+        the model's p_correct."""
+        sig = VisualSignal(0.6, 0.6, 1.0)
+        p_expected = SimulatedParticipant(0).p_correct(sig)
+        outcomes = [
+            SimulatedParticipant(seed).attempt(sig)[0]
+            for seed in range(400)
+        ]
+        assert np.mean(outcomes) == pytest.approx(p_expected, abs=0.07)
+
+    def test_times_positive(self):
+        sig = VisualSignal(0.3, 0.3, 2.0)
+        for seed in range(20):
+            __, t = SimulatedParticipant(seed).attempt(sig)
+            assert t > 0

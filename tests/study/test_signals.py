@@ -1,0 +1,100 @@
+"""Unit tests for visual-signal extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core import ScalarGraph, build_super_tree, build_vertex_tree
+from repro.graph import datasets
+from repro.measures import core_numbers
+from repro.study import (
+    VisualSignal,
+    lanet_vi_target_signal,
+    occlusion_fraction,
+    openord_correlation_signal,
+    openord_target_signal,
+    terrain_correlation_signal,
+    terrain_target_signal,
+)
+from repro.terrain import layout_tree
+
+
+@pytest.fixture(scope="module")
+def grqc_tree_layout():
+    g = datasets.load("grqc").graph
+    tree = build_super_tree(
+        build_vertex_tree(ScalarGraph(g, core_numbers(g).astype(float)))
+    )
+    return g, tree, layout_tree(tree)
+
+
+class TestTerrainSignals:
+    def test_ranges(self, grqc_tree_layout):
+        __, tree, layout = grqc_tree_layout
+        sig = terrain_target_signal(tree, layout, rank=1)
+        assert 0 <= sig.visibility <= 1
+        assert 0 <= sig.discriminability <= 1
+        assert sig.trace_cost >= 0
+
+    def test_rank2_harder(self, grqc_tree_layout):
+        __, tree, layout = grqc_tree_layout
+        s1 = terrain_target_signal(tree, layout, rank=1)
+        s2 = terrain_target_signal(tree, layout, rank=2)
+        assert s2.trace_cost >= s1.trace_cost
+
+    def test_correlation_signal_tracks_rho(self, grqc_tree_layout):
+        __, tree, __ = grqc_tree_layout
+        aligned = terrain_correlation_signal(tree, tree.scalars)
+        noise = terrain_correlation_signal(
+            tree, np.random.default_rng(0).random(tree.n_nodes)
+        )
+        assert aligned.discriminability > noise.discriminability
+        assert aligned.discriminability == pytest.approx(1.0)
+
+
+class TestBaselineSignals:
+    def test_lanet_small_core_low_visibility(self, grqc_tree_layout):
+        g, __, __ = grqc_tree_layout
+        core = core_numbers(g)
+        sig = lanet_vi_target_signal(g, core, rank=1)
+        # Densest planted core is 26 of ~1600 vertices: low visibility.
+        assert sig.visibility < 0.5
+
+    def test_lanet_rank2_adds_tracing(self, grqc_tree_layout):
+        g, __, __ = grqc_tree_layout
+        core = core_numbers(g)
+        s1 = lanet_vi_target_signal(g, core, rank=1)
+        s2 = lanet_vi_target_signal(g, core, rank=2)
+        assert s2.trace_cost > s1.trace_cost
+
+    def test_openord_occlusion_lowers_visibility(self, grqc_tree_layout):
+        g, __, __ = grqc_tree_layout
+        core = core_numbers(g).astype(float)
+        spread = np.random.default_rng(0).random((g.n_vertices, 2))
+        piled = np.zeros((g.n_vertices, 2))
+        s_spread = openord_target_signal(g, core, spread)
+        s_piled = openord_target_signal(g, core, piled)
+        assert s_piled.visibility <= s_spread.visibility
+
+    def test_openord_correlation_weaker_than_terrain(self, grqc_tree_layout):
+        g, tree, __ = grqc_tree_layout
+        rng = np.random.default_rng(1)
+        a = rng.random(g.n_vertices)
+        b = 0.9 * a + 0.1 * rng.random(g.n_vertices)
+        pos = rng.random((g.n_vertices, 2))
+        weak = openord_correlation_signal(a, b, pos)
+        node_vals = np.array([a[m].mean() for m in tree.members])
+        strong = terrain_correlation_signal(tree, tree.scalars)
+        assert weak.discriminability < strong.discriminability
+
+
+class TestOcclusion:
+    def test_no_targets(self):
+        assert occlusion_fraction(np.zeros((5, 2)), np.array([])) == 0.0
+
+    def test_spread_points_unoccluded(self):
+        pos = np.array([[0.0, 0], [0.5, 0.5], [1.0, 1.0]])
+        assert occlusion_fraction(pos, np.array([0])) == 0.0
+
+    def test_piled_points_occluded(self):
+        pos = np.zeros((10, 2))
+        assert occlusion_fraction(pos, np.array([0])) == 1.0

@@ -1,0 +1,66 @@
+"""Unit tests for the orbit camera."""
+
+import numpy as np
+import pytest
+
+from repro.terrain import Camera
+
+
+class TestOrbit:
+    def test_position_distance(self):
+        cam = Camera(azimuth=30, elevation=45, distance=2.0, target=(0, 0, 0))
+        assert np.linalg.norm(cam.position) == pytest.approx(2.0)
+
+    def test_rotate_changes_position(self):
+        cam = Camera()
+        rotated = cam.rotated(d_azimuth=90)
+        assert not np.allclose(cam.position, rotated.position)
+        assert rotated.distance == cam.distance
+
+    def test_elevation_clamped(self):
+        cam = Camera(elevation=80).rotated(d_elevation=45)
+        assert cam.elevation <= 88.0
+
+    def test_zoom(self):
+        cam = Camera(distance=4.0).zoomed(0.5)
+        assert cam.distance == 2.0
+
+    def test_zoom_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Camera().zoomed(0)
+
+    def test_immutability(self):
+        cam = Camera()
+        cam.rotated(10)
+        cam.zoomed(2)
+        assert cam == Camera()
+
+
+class TestProjection:
+    def test_target_projects_to_center(self):
+        cam = Camera(target=(0, 0, 0))
+        xy, depth = cam.project(np.array([[0.0, 0.0, 0.0]]), 640, 480)
+        assert xy[0, 0] == pytest.approx(320, abs=1)
+        assert xy[0, 1] == pytest.approx(240, abs=1)
+        assert depth[0] == pytest.approx(cam.distance)
+
+    def test_view_basis_orthonormal(self):
+        right, up, forward = Camera(azimuth=70, elevation=25).view_basis()
+        for v in (right, up, forward):
+            assert np.linalg.norm(v) == pytest.approx(1.0)
+        assert abs(right @ up) < 1e-9
+        assert abs(right @ forward) < 1e-9
+        assert abs(up @ forward) < 1e-9
+
+    def test_nearer_points_have_smaller_depth(self):
+        cam = Camera(azimuth=0, elevation=0, distance=5, target=(0, 0, 0))
+        pts = np.array([[0.0, 0, 0], [1.0, 0, 0]])  # second nearer to camera
+        __, depth = cam.project(pts, 100, 100)
+        assert depth[1] < depth[0]
+
+    def test_straight_down_view_stable(self):
+        cam = Camera(elevation=88.0)
+        right, up, forward = cam.view_basis()
+        assert np.isfinite(right).all()
+        xy, depth = cam.project(np.array([[0.1, 0.1, 0.0]]), 64, 64)
+        assert np.isfinite(xy).all()

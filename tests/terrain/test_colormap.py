@@ -1,0 +1,62 @@
+"""Unit tests for colour ramps."""
+
+import numpy as np
+import pytest
+
+from repro.terrain import intensity_ramp, quartile_colors, rgb_to_hex, role_colors
+from repro.terrain.colormap import BLUE, GREEN, RED, YELLOW
+
+
+class TestIntensityRamp:
+    def test_endpoints(self):
+        colors = intensity_ramp(np.array([0.0, 1.0]))
+        assert np.allclose(colors[0], BLUE)
+        assert np.allclose(colors[1], RED)
+
+    def test_constant_field_is_mid_ramp(self):
+        colors = intensity_ramp(np.array([5.0, 5.0]))
+        assert np.allclose(colors[0], colors[1])
+
+    def test_in_unit_range(self):
+        colors = intensity_ramp(np.random.default_rng(0).random(100))
+        assert (colors >= 0).all() and (colors <= 1).all()
+
+    def test_warmth_monotone(self):
+        colors = intensity_ramp(np.linspace(0, 1, 20))
+        # Red-minus-blue (warmth) is non-decreasing along the ramp.
+        warmth = colors[:, 0] - colors[:, 2]
+        assert (np.diff(warmth) >= -1e-9).all()
+
+
+class TestQuartileColors:
+    def test_four_levels(self):
+        values = np.arange(100, dtype=float)
+        colors = quartile_colors(values)
+        assert np.allclose(colors[0], BLUE)
+        assert np.allclose(colors[-1], RED)
+        distinct = {tuple(c) for c in colors}
+        assert distinct == {BLUE, GREEN, YELLOW, RED}
+
+    def test_quartile_populations(self):
+        values = np.arange(80, dtype=float)
+        colors = quartile_colors(values)
+        reds = np.all(np.isclose(colors, RED), axis=1).sum()
+        assert reds == pytest.approx(20, abs=2)
+
+
+class TestRoleColors:
+    def test_mapping(self):
+        colors = role_colors(np.array([0, 1, 2]))
+        assert np.allclose(colors[0], GREEN)  # hub
+        assert np.allclose(colors[1], BLUE)   # dense
+        assert np.allclose(colors[2], RED)    # periphery
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            role_colors(np.array([4]))
+
+
+class TestHex:
+    def test_round_values(self):
+        assert rgb_to_hex((1.0, 0.0, 0.0)) == "#ff0000"
+        assert rgb_to_hex((0.0, 0.5, 1.0)) == "#0080ff"

@@ -1,0 +1,100 @@
+"""Tests for terrains over *edge* scalar trees (K-truss workflows)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EdgeScalarGraph,
+    build_edge_tree,
+    build_super_tree,
+    maximal_alpha_edge_components,
+)
+from repro.graph import from_edges
+from repro.graph.generators import connected_caveman
+from repro.measures import truss_numbers
+from repro.terrain import (
+    highest_peaks,
+    layout_tree,
+    peaks_at,
+    rasterize,
+    render_terrain,
+    treemap_svg,
+)
+
+
+@pytest.fixture(scope="module")
+def truss_terrain():
+    graph = connected_caveman(4, 6)
+    kt = truss_numbers(graph)
+    eg = EdgeScalarGraph(graph, kt.astype(float))
+    tree = build_super_tree(build_edge_tree(eg))
+    return graph, eg, tree
+
+
+class TestEdgeTerrain:
+    def test_kind_propagates(self, truss_terrain):
+        __, __, tree = truss_terrain
+        assert tree.kind == "edge"
+
+    def test_peaks_are_edge_components(self, truss_terrain):
+        __, eg, tree = truss_terrain
+        layout = layout_tree(tree)
+        for alpha in sorted(set(eg.scalars.tolist())):
+            peak_sets = sorted(
+                tuple(sorted(p.items.tolist()))
+                for p in peaks_at(tree, alpha, layout)
+            )
+            comp_sets = sorted(
+                tuple(c.tolist())
+                for c in maximal_alpha_edge_components(eg, alpha)
+            )
+            assert peak_sets == comp_sets
+
+    def test_each_clique_is_a_peak(self, truss_terrain):
+        graph, __, tree = truss_terrain
+        peaks = highest_peaks(tree, count=4)
+        # Four 6-cliques, each with 15 edges of truss 4.
+        assert len(peaks) == 4
+        assert all(p.size == 15 and p.alpha == 4.0 for p in peaks)
+        # Peak edges really form the cliques.
+        pairs = graph.edge_array()
+        for peak in peaks:
+            vertices = set(pairs[peak.items].ravel().tolist())
+            assert len(vertices) == 6
+
+    def test_renders(self, truss_terrain, tmp_path):
+        __, __, tree = truss_terrain
+        img = render_terrain(
+            tree, resolution=48, width=96, height=72,
+            path=tmp_path / "truss.png",
+        )
+        assert img.shape == (72, 96, 3)
+        assert (tmp_path / "truss.png").exists()
+
+    def test_treemap(self, truss_terrain):
+        __, __, tree = truss_terrain
+        svg = treemap_svg(tree, size=128)
+        assert svg.count("<circle") == tree.n_nodes
+
+    def test_heightfield_levels(self, truss_terrain):
+        __, eg, tree = truss_terrain
+        hf = rasterize(layout_tree(tree), resolution=48)
+        assert hf.height.max() == eg.scalars.max()
+
+
+class TestMixedValueEdgeTerrain:
+    def test_single_edge_graph(self, tmp_path):
+        graph = from_edges([(0, 1)])
+        eg = EdgeScalarGraph(graph, [2.0])
+        tree = build_super_tree(build_edge_tree(eg))
+        img = render_terrain(tree, resolution=16, width=32, height=24)
+        assert img.shape == (24, 32, 3)
+
+    def test_two_component_edge_terrain(self):
+        graph = from_edges([(0, 1), (2, 3)])
+        eg = EdgeScalarGraph(graph, [3.0, 1.0])
+        tree = build_super_tree(build_edge_tree(eg))
+        layout = layout_tree(tree)
+        assert len(tree.roots) == 2
+        peaks = highest_peaks(tree, count=2, layout=layout)
+        assert [p.alpha for p in peaks] == [3.0, 1.0]

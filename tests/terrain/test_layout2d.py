@@ -1,0 +1,150 @@
+"""Unit tests for the nested-disc layout."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import ScalarGraph, build_super_tree, build_vertex_tree
+from repro.graph import from_edges
+from repro.graph.generators import erdos_renyi, planted_cliques
+from repro.terrain import layout_tree
+
+
+def _tree_from(edges, scalars):
+    return build_super_tree(
+        build_vertex_tree(ScalarGraph(from_edges(edges), scalars))
+    )
+
+
+@pytest.fixture
+def medium_tree():
+    graph, __ = planted_cliques(150, 320, [10, 8], seed=0)
+    from repro.measures import core_numbers
+
+    sg = ScalarGraph(graph, core_numbers(graph).astype(float))
+    return build_super_tree(build_vertex_tree(sg))
+
+
+class TestNestingInvariants:
+    def test_children_inside_parents(self, medium_tree):
+        layout = layout_tree(medium_tree)
+        tree = medium_tree
+        for node in range(tree.n_nodes):
+            p = tree.parent[node]
+            if p < 0:
+                continue
+            d = math.hypot(
+                layout.cx[node] - layout.cx[p],
+                layout.cy[node] - layout.cy[p],
+            )
+            assert d + layout.r[node] <= layout.r[p] * 1.001
+
+    def test_positive_radii(self, medium_tree):
+        layout = layout_tree(medium_tree)
+        assert (layout.r > 0).all()
+
+    def test_sibling_overlap_bounded(self):
+        # Small sibling counts go through the relaxation pass and must
+        # not overlap materially.
+        tree = _tree_from(
+            [(0, 4), (1, 4), (2, 4), (3, 4)],
+            [5.0, 4.0, 3.0, 2.0, 1.0],
+        )
+        layout = layout_tree(tree)
+        kids = tree.children(tree.roots[0])
+        for i, a in enumerate(kids):
+            for b in kids[i + 1:]:
+                d = math.hypot(
+                    layout.cx[a] - layout.cx[b],
+                    layout.cy[a] - layout.cy[b],
+                )
+                assert d >= (layout.r[a] + layout.r[b]) * 0.85
+
+    def test_larger_subtree_larger_disc(self, medium_tree):
+        """Area ∝ items strictly below the node (the paper's rule), so a
+        sibling with a clearly heavier subtree gets a larger disc
+        (leaf-radius clamping can equalise near-empty siblings)."""
+        layout = layout_tree(medium_tree)
+        tree = medium_tree
+        member_counts = np.array([len(m) for m in tree.members])
+        weights = tree.subtree_sizes() - member_counts
+        for node in range(tree.n_nodes):
+            kids = tree.children(node)
+            for a in kids:
+                for b in kids:
+                    if weights[a] > 2 * weights[b] and weights[a] > 2:
+                        assert layout.r[a] >= layout.r[b]
+
+
+class TestMultipleRoots:
+    def test_disjoint_root_discs(self):
+        tree = _tree_from([(0, 1), (2, 3), (4, 5)], [6.0, 5, 4, 3, 2, 1.0])
+        layout = layout_tree(tree)
+        roots = tree.roots
+        for i, a in enumerate(roots):
+            for b in roots[i + 1:]:
+                d = math.hypot(
+                    layout.cx[a] - layout.cx[b],
+                    layout.cy[a] - layout.cy[b],
+                )
+                assert d >= (layout.r[a] + layout.r[b]) * 0.9
+
+    def test_many_isolated_components(self):
+        edges = [(2 * i, 2 * i + 1) for i in range(40)]
+        scalars = np.linspace(1, 2, 80)
+        tree = _tree_from(edges, scalars.tolist())
+        layout = layout_tree(tree)
+        assert np.isfinite(layout.cx).all()
+        assert np.isfinite(layout.r).all()
+
+
+class TestNodeAt:
+    def test_finds_deepest(self, medium_tree):
+        layout = layout_tree(medium_tree)
+        tree = medium_tree
+        # The centre of every leaf disc maps back to that leaf.
+        for node in range(tree.n_nodes):
+            if not tree.children(node):
+                found = layout.node_at(
+                    float(layout.cx[node]), float(layout.cy[node])
+                )
+                assert found == node
+
+    def test_outside_returns_none(self, medium_tree):
+        layout = layout_tree(medium_tree)
+        xmin, ymin, xmax, ymax = layout.extent
+        assert layout.node_at(xmax + 10, ymax + 10) is None
+
+    def test_contains(self, medium_tree):
+        layout = layout_tree(medium_tree)
+        [root] = [r for r in medium_tree.roots
+                  if medium_tree.subtree_size(r) == max(
+                      medium_tree.subtree_size(q) for q in medium_tree.roots)]
+        assert layout.contains(root, float(layout.cx[root]),
+                               float(layout.cy[root]))
+
+    def test_boundary_area(self, medium_tree):
+        layout = layout_tree(medium_tree)
+        for node in range(medium_tree.n_nodes):
+            assert layout.boundary_area(node) == pytest.approx(
+                math.pi * layout.r[node] ** 2
+            )
+
+
+class TestLargeFanout:
+    def test_ring_packing_many_children(self):
+        # Star of 60 leaves exercises the ring-packing branch.
+        edges = [(0, i) for i in range(1, 61)]
+        scalars = [0.0] + list(np.linspace(1, 2, 60))
+        tree = _tree_from(edges, scalars)
+        layout = layout_tree(tree)
+        [root] = tree.roots
+        kids = tree.children(root)
+        assert len(kids) == 60
+        for kid in kids:
+            d = math.hypot(
+                layout.cx[kid] - layout.cx[root],
+                layout.cy[kid] - layout.cy[root],
+            )
+            assert d + layout.r[kid] <= layout.r[root] * 1.001

@@ -1,0 +1,149 @@
+"""Unit tests for mesh generation and the software renderer."""
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core import ScalarGraph, build_super_tree, build_vertex_tree
+from repro.graph import from_edges
+from repro.terrain import (
+    Camera,
+    build_mesh,
+    intensity_ramp,
+    layout_tree,
+    rasterize,
+    render_mesh,
+    render_terrain,
+    save_png,
+    save_ppm,
+)
+from repro.terrain.render import node_colors_from_item_values
+
+
+@pytest.fixture
+def small_scene():
+    graph = from_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+    sg = ScalarGraph(graph, [5.0, 4.0, 3.0, 2.0, 1.0])
+    tree = build_super_tree(build_vertex_tree(sg))
+    layout = layout_tree(tree)
+    hf = rasterize(layout, resolution=48)
+    return tree, layout, hf
+
+
+class TestMesh:
+    def test_counts(self, small_scene):
+        __, __, hf = small_scene
+        mesh = build_mesh(hf)
+        res = hf.resolution
+        assert len(mesh.vertices) == res * res
+        assert mesh.n_faces == 2 * (res - 1) * (res - 1)
+        assert len(mesh.face_colors) == mesh.n_faces
+
+    def test_heights_scaled(self, small_scene):
+        __, __, hf = small_scene
+        mesh = build_mesh(hf, z_scale=0.7)
+        assert mesh.vertices[:, 2].max() == pytest.approx(0.7)
+        assert mesh.vertices[:, 2].min() == pytest.approx(0.0)
+
+    def test_ground_faces_colored_ground(self, small_scene):
+        __, __, hf = small_scene
+        mesh = build_mesh(hf, ground_color=(0.1, 0.2, 0.3))
+        ground = mesh.face_nodes < 0
+        assert ground.any()
+        assert np.allclose(mesh.face_colors[ground], (0.1, 0.2, 0.3))
+
+    def test_node_colors_applied(self, small_scene):
+        tree, __, hf = small_scene
+        colors = intensity_ramp(tree.scalars)
+        mesh = build_mesh(hf, colors)
+        inside = mesh.face_nodes >= 0
+        assert np.allclose(
+            mesh.face_colors[inside], colors[mesh.face_nodes[inside]]
+        )
+
+
+class TestRenderer:
+    def test_image_shape_dtype(self, small_scene):
+        __, __, hf = small_scene
+        img = render_mesh(build_mesh(hf), width=120, height=90)
+        assert img.shape == (90, 120, 3)
+        assert img.dtype == np.uint8
+
+    def test_terrain_is_drawn(self, small_scene):
+        __, __, hf = small_scene
+        img = render_mesh(build_mesh(hf), width=120, height=90)
+        # Something other than the white background must be visible.
+        assert (img < 250).any()
+
+    def test_deterministic(self, small_scene):
+        __, __, hf = small_scene
+        mesh = build_mesh(hf)
+        a = render_mesh(mesh, width=100, height=80)
+        b = render_mesh(mesh, width=100, height=80)
+        assert np.array_equal(a, b)
+
+    def test_camera_angle_changes_image(self, small_scene):
+        __, __, hf = small_scene
+        mesh = build_mesh(hf)
+        a = render_mesh(mesh, camera=Camera(azimuth=20), width=100, height=80)
+        b = render_mesh(mesh, camera=Camera(azimuth=200), width=100, height=80)
+        assert not np.array_equal(a, b)
+
+    def test_render_terrain_end_to_end(self, small_scene, tmp_path):
+        tree, layout, hf = small_scene
+        path = tmp_path / "t.png"
+        img = render_terrain(
+            tree, layout=layout, heightfield=hf,
+            width=100, height=80, path=path,
+        )
+        assert path.exists()
+        assert img.shape == (80, 100, 3)
+
+    def test_render_terrain_second_field_coloring(self, small_scene):
+        tree, layout, hf = small_scene
+        second = np.array([1.0, 1.0, 5.0, 5.0, 5.0])
+        img_a = render_terrain(tree, layout=layout, heightfield=hf,
+                               width=80, height=60)
+        img_b = render_terrain(tree, color_values=second, layout=layout,
+                               heightfield=hf, width=80, height=60)
+        assert not np.array_equal(img_a, img_b)
+
+    def test_categorical_requires_table(self, small_scene):
+        tree, layout, hf = small_scene
+        with pytest.raises(ValueError, match="color_table"):
+            render_terrain(
+                tree, categorical_labels=np.zeros(5, dtype=int),
+                layout=layout, heightfield=hf,
+            )
+
+    def test_node_colors_from_item_values(self, small_scene):
+        tree, __, __ = small_scene
+        values = np.arange(5, dtype=float)
+        colors = node_colors_from_item_values(tree, values)
+        assert colors.shape == (tree.n_nodes, 3)
+
+
+class TestImageWriters:
+    def test_png_structure(self, tmp_path):
+        img = np.zeros((4, 6, 3), dtype=np.uint8)
+        img[1, 2] = (255, 0, 0)
+        path = save_png(img, tmp_path / "x.png")
+        blob = path.read_bytes()
+        assert blob.startswith(b"\x89PNG\r\n\x1a\n")
+        w, h = struct.unpack(">II", blob[16:24])
+        assert (w, h) == (6, 4)
+        # Decompress the IDAT payload and check the marked pixel.
+        idat_start = blob.index(b"IDAT") + 4
+        idat_len = struct.unpack(">I", blob[idat_start - 8: idat_start - 4])[0]
+        raw = zlib.decompress(blob[idat_start: idat_start + idat_len])
+        row1 = raw[1 * (1 + 6 * 3):][1:19]
+        assert row1[6:9] == b"\xff\x00\x00"
+
+    def test_ppm_structure(self, tmp_path):
+        img = np.full((2, 3, 3), 7, dtype=np.uint8)
+        path = save_ppm(img, tmp_path / "x.ppm")
+        blob = path.read_bytes()
+        assert blob.startswith(b"P6\n3 2\n255\n")
+        assert blob.endswith(bytes([7] * 18))

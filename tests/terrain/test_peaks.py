@@ -1,0 +1,156 @@
+"""Unit tests for peak queries and linked selection."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ScalarGraph,
+    build_super_tree,
+    build_vertex_tree,
+    maximal_alpha_components,
+)
+from repro.graph import datasets, from_edges
+from repro.measures import core_numbers
+from repro.terrain import (
+    LinkedSelection,
+    highest_peaks,
+    layout_tree,
+    peaks_at,
+    select_region,
+)
+
+
+@pytest.fixture(scope="module")
+def grqc_scene():
+    ds = datasets.load("grqc")
+    sg = ScalarGraph(ds.graph, core_numbers(ds.graph).astype(float))
+    tree = build_super_tree(build_vertex_tree(sg))
+    return ds, sg, tree, layout_tree(tree)
+
+
+class TestPeaksAt:
+    def test_peaks_match_components(self, grqc_scene):
+        """Definition 6: peak_α ↔ maximal α-connected component."""
+        __, sg, tree, layout = grqc_scene
+        for alpha in (3.0, 8.0, 15.0):
+            peak_sets = sorted(
+                tuple(sorted(p.items.tolist()))
+                for p in peaks_at(tree, alpha, layout)
+            )
+            comp_sets = sorted(
+                tuple(c.tolist())
+                for c in maximal_alpha_components(sg, alpha)
+            )
+            assert peak_sets == comp_sets
+
+    def test_sorted_by_size(self, grqc_scene):
+        __, __, tree, layout = grqc_scene
+        peaks = peaks_at(tree, 3.0, layout)
+        sizes = [p.size for p in peaks]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_base_area_positive(self, grqc_scene):
+        __, __, tree, layout = grqc_scene
+        for p in peaks_at(tree, 5.0, layout):
+            assert p.base_area > 0
+
+    def test_prominence(self, grqc_scene):
+        __, __, tree, layout = grqc_scene
+        for p in peaks_at(tree, 5.0, layout):
+            assert p.prominence == pytest.approx(p.summit - p.alpha)
+            assert p.prominence >= 0
+
+
+class TestHighestPeaks:
+    def test_first_is_global_summit(self, grqc_scene):
+        __, __, tree, layout = grqc_scene
+        [top] = highest_peaks(tree, count=1, layout=layout)
+        assert top.alpha == tree.scalars.max()
+
+    def test_recovers_planted_cliques(self, grqc_scene):
+        """The planted cliques are the top disconnected peaks."""
+        ds, __, tree, layout = grqc_scene
+        cliques = sorted(ds.planted["cliques"], key=len, reverse=True)
+        peaks = highest_peaks(tree, count=3, layout=layout)
+        for peak, clique in zip(peaks, cliques[:3]):
+            assert set(clique.tolist()) <= set(peak.items.tolist())
+
+    def test_peaks_pairwise_disjoint(self, grqc_scene):
+        __, __, tree, layout = grqc_scene
+        peaks = highest_peaks(tree, count=4, layout=layout)
+        for i, a in enumerate(peaks):
+            for b in peaks[i + 1:]:
+                assert not (set(a.items.tolist()) & set(b.items.tolist()))
+
+    def test_monotone_decreasing_levels(self, grqc_scene):
+        __, __, tree, layout = grqc_scene
+        peaks = highest_peaks(tree, count=4, layout=layout)
+        alphas = [p.alpha for p in peaks]
+        assert alphas == sorted(alphas, reverse=True)
+
+    def test_works_without_layout(self, grqc_scene):
+        __, __, tree, __ = grqc_scene
+        peaks = highest_peaks(tree, count=2)
+        assert len(peaks) == 2
+
+
+class TestSelection:
+    def test_select_region_summit(self, grqc_scene):
+        __, __, tree, layout = grqc_scene
+        top = highest_peaks(tree, count=1, layout=layout)[0]
+        peak = select_region(
+            tree, layout, float(layout.cx[top.node]), float(layout.cy[top.node])
+        )
+        assert peak is not None
+        assert set(peak.items.tolist()) >= set(top.items.tolist()) or \
+            set(peak.items.tolist()) <= set(top.items.tolist())
+
+    def test_select_open_ground(self, grqc_scene):
+        __, __, tree, layout = grqc_scene
+        xmin, ymin, xmax, ymax = layout.extent
+        assert select_region(tree, layout, xmax + 5, ymax + 5) is None
+
+    def test_linked_selection_callback(self, grqc_scene):
+        """The paper's linked-2D-display hook fires with the component."""
+        __, __, tree, layout = grqc_scene
+        received = []
+        linked = LinkedSelection(tree, layout)
+        linked.register(lambda peak, items: received.append((peak, items)))
+        top = highest_peaks(tree, count=1, layout=layout)[0]
+        peak = linked.select(
+            float(layout.cx[top.node]), float(layout.cy[top.node])
+        )
+        assert peak is not None
+        assert len(received) == 1
+        assert received[0][0].node == peak.node
+
+    def test_linked_selection_miss_no_callback(self, grqc_scene):
+        __, __, tree, layout = grqc_scene
+        received = []
+        linked = LinkedSelection(tree, layout)
+        linked.register(lambda *a: received.append(a))
+        xmin, ymin, xmax, ymax = layout.extent
+        assert linked.select(xmax + 5, ymax + 5) is None
+        assert received == []
+
+    def test_callback_draws_spring_layout(self, grqc_scene, tmp_path):
+        """End-to-end linked view: select a peak, draw it node-link
+        (the paper's Fig 6(c) red-box interaction)."""
+        ds, __, tree, layout = grqc_scene
+        from repro.baselines import draw_graph_svg, spring_layout
+
+        outputs = []
+
+        def draw(peak, items):
+            sub = ds.graph.subgraph(items.tolist())
+            pos = spring_layout(sub, iterations=10, seed=0)
+            outputs.append(
+                draw_graph_svg(sub, pos, path=tmp_path / "sel.svg")
+            )
+
+        linked = LinkedSelection(tree, layout)
+        linked.register(draw)
+        top = highest_peaks(tree, count=1, layout=layout)[0]
+        linked.select(float(layout.cx[top.node]), float(layout.cy[top.node]))
+        assert outputs and outputs[0].startswith("<svg")
+        assert (tmp_path / "sel.svg").exists()

@@ -1,0 +1,78 @@
+"""Unit tests for the 1D landscape profile."""
+
+import numpy as np
+import pytest
+
+from repro.core import ScalarGraph, build_super_tree, build_vertex_tree
+from repro.graph import from_edges
+from repro.terrain import profile_intervals, profile_svg
+
+
+@pytest.fixture
+def two_mountains():
+    edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]
+    scalars = [5.0, 3.0, 1.0, 2.0, 4.0, 2.5]
+    sg = ScalarGraph(from_edges(edges), scalars)
+    return build_super_tree(build_vertex_tree(sg))
+
+
+class TestIntervals:
+    def test_root_spans_unit(self, two_mountains):
+        spans = profile_intervals(two_mountains)
+        [root] = two_mountains.roots
+        assert spans[root][0] == pytest.approx(0.0)
+        assert spans[root][1] == pytest.approx(1.0)
+
+    def test_children_nest_in_parent(self, two_mountains):
+        tree = two_mountains
+        spans = profile_intervals(tree)
+        for node in range(tree.n_nodes):
+            p = tree.parent[node]
+            if p >= 0:
+                assert spans[node][0] >= spans[p][0] - 1e-9
+                assert spans[node][1] <= spans[p][1] + 1e-9
+
+    def test_siblings_disjoint(self, two_mountains):
+        tree = two_mountains
+        spans = profile_intervals(tree)
+        for node in range(tree.n_nodes):
+            kids = tree.children(node)
+            for i, a in enumerate(kids):
+                for b in kids[i + 1:]:
+                    lo = max(spans[a][0], spans[b][0])
+                    hi = min(spans[a][1], spans[b][1])
+                    assert hi - lo <= 1e-9
+
+    def test_width_proportional_to_size(self, two_mountains):
+        tree = two_mountains
+        spans = profile_intervals(tree)
+        sizes = tree.subtree_sizes()
+        for node in range(tree.n_nodes):
+            kids = tree.children(node)
+            for a in kids:
+                for b in kids:
+                    if sizes[a] > sizes[b]:
+                        assert (spans[a][1] - spans[a][0]) >= (
+                            spans[b][1] - spans[b][0]
+                        ) - 1e-9
+
+    def test_forest(self):
+        sg = ScalarGraph(
+            from_edges([(0, 1), (2, 3)]), [2.0, 1.0, 3.0, 1.5]
+        )
+        tree = build_super_tree(build_vertex_tree(sg))
+        spans = profile_intervals(tree)
+        roots = tree.roots
+        widths = [spans[r][1] - spans[r][0] for r in roots]
+        assert sum(widths) == pytest.approx(1.0)
+
+
+class TestSvg:
+    def test_one_block_per_node(self, two_mountains):
+        svg = profile_svg(two_mountains)
+        # background + one rect per node
+        assert svg.count("<rect") == two_mountains.n_nodes + 1
+
+    def test_saves(self, two_mountains, tmp_path):
+        profile_svg(two_mountains, path=tmp_path / "p.svg")
+        assert (tmp_path / "p.svg").exists()

@@ -1,0 +1,50 @@
+"""Unit tests for the SVG builder."""
+
+from repro.terrain import SVGCanvas
+
+
+class TestSVGCanvas:
+    def test_document_skeleton(self):
+        svg = SVGCanvas(100, 50).to_string()
+        assert svg.startswith("<svg")
+        assert 'width="100"' in svg
+        assert svg.rstrip().endswith("</svg>")
+
+    def test_elements_rendered(self):
+        canvas = SVGCanvas(100, 100)
+        canvas.circle(10, 10, 5, fill=(1, 0, 0))
+        canvas.line(0, 0, 10, 10)
+        canvas.polygon([(0, 0), (5, 0), (5, 5)], fill="blue")
+        canvas.polyline([(0, 0), (2, 2), (4, 0)])
+        canvas.rect(1, 1, 8, 8, fill=None)
+        canvas.text(50, 50, "hello")
+        svg = canvas.to_string()
+        for tag in ("<circle", "<line", "<polygon", "<polyline",
+                    "<rect", "<text"):
+            assert tag in svg
+
+    def test_color_conversion(self):
+        canvas = SVGCanvas(10, 10)
+        canvas.circle(0, 0, 1, fill=(1.0, 0.0, 0.0))
+        assert "#ff0000" in canvas.to_string()
+
+    def test_none_fill(self):
+        canvas = SVGCanvas(10, 10)
+        canvas.rect(0, 0, 1, 1, fill=None)
+        assert 'fill="none"' in canvas.to_string()
+
+    def test_text_escaped(self):
+        canvas = SVGCanvas(10, 10)
+        canvas.text(0, 0, "<a & b>")
+        assert "&lt;a &amp; b&gt;" in canvas.to_string()
+
+    def test_negative_radius_clamped(self):
+        canvas = SVGCanvas(10, 10)
+        canvas.circle(0, 0, -3)
+        assert 'r="0.00"' in canvas.to_string()
+
+    def test_save(self, tmp_path):
+        canvas = SVGCanvas(10, 10)
+        out = canvas.save(tmp_path / "sub" / "x.svg")
+        assert out.exists()
+        assert out.read_text().startswith("<svg")

@@ -1,0 +1,105 @@
+"""Property-based tests for the terrain layer on random scalar trees."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ScalarGraph,
+    build_super_tree,
+    build_vertex_tree,
+    maximal_alpha_components,
+    super_tree_from_json,
+    super_tree_to_json,
+)
+from repro.graph.generators import erdos_renyi
+from repro.terrain import layout_tree, peaks_at, rasterize
+from repro.terrain.profile import profile_intervals
+
+SETTINGS = dict(max_examples=20, deadline=None)
+
+
+@st.composite
+def super_trees(draw):
+    n = draw(st.integers(5, 35))
+    max_m = n * (n - 1) // 2
+    m = draw(st.integers(0, min(max_m, 3 * n)))
+    levels = draw(st.integers(1, 6))
+    seed = draw(st.integers(0, 10_000))
+    graph = erdos_renyi(n, m, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    scalars = rng.integers(0, levels, n).astype(np.float64)
+    sg = ScalarGraph(graph, scalars)
+    return sg, build_super_tree(build_vertex_tree(sg))
+
+
+@settings(**SETTINGS)
+@given(data=super_trees())
+def test_layout_children_always_inside_parents(data):
+    __, tree = data
+    layout = layout_tree(tree)
+    for node in range(tree.n_nodes):
+        p = tree.parent[node]
+        if p < 0:
+            continue
+        d = math.hypot(
+            layout.cx[node] - layout.cx[p], layout.cy[node] - layout.cy[p]
+        )
+        assert d + layout.r[node] <= layout.r[p] * 1.01
+
+
+@settings(**SETTINGS)
+@given(data=super_trees())
+def test_peaks_equal_components_at_every_level(data):
+    sg, tree = data
+    layout = layout_tree(tree)
+    for alpha in sorted(set(sg.scalars.tolist())):
+        peak_sets = sorted(
+            tuple(sorted(p.items.tolist()))
+            for p in peaks_at(tree, alpha, layout)
+        )
+        comp_sets = sorted(
+            tuple(c.tolist()) for c in maximal_alpha_components(sg, alpha)
+        )
+        assert peak_sets == comp_sets
+
+
+@settings(**SETTINGS)
+@given(data=super_trees())
+def test_heightfield_heights_come_from_tree(data):
+    __, tree = data
+    hf = rasterize(layout_tree(tree), resolution=32)
+    values = set(np.unique(hf.height).tolist())
+    allowed = set(tree.scalars.tolist()) | {hf.base}
+    assert values <= allowed
+
+
+@settings(**SETTINGS)
+@given(data=super_trees())
+def test_profile_intervals_nest_and_partition(data):
+    __, tree = data
+    spans = profile_intervals(tree)
+    widths = spans[:, 1] - spans[:, 0]
+    assert (widths >= -1e-12).all()
+    for node in range(tree.n_nodes):
+        p = tree.parent[node]
+        if p >= 0:
+            assert spans[node, 0] >= spans[p, 0] - 1e-9
+            assert spans[node, 1] <= spans[p, 1] + 1e-9
+    roots = tree.roots
+    assert sum(widths[r] for r in roots) == np.float64(1.0) or abs(
+        sum(widths[r] for r in roots) - 1.0
+    ) < 1e-9
+
+
+@settings(**SETTINGS)
+@given(data=super_trees())
+def test_serialization_roundtrip_preserves_queries(data):
+    sg, tree = data
+    back = super_tree_from_json(super_tree_to_json(tree))
+    for alpha in sorted(set(sg.scalars.tolist())):
+        a = sorted(tuple(sorted(c)) for c in tree.components_at(alpha))
+        b = sorted(tuple(sorted(c)) for c in back.components_at(alpha))
+        assert a == b

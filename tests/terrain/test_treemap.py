@@ -1,0 +1,35 @@
+"""Unit tests for the 2D treemap display."""
+
+import pytest
+
+from repro.core import ScalarGraph, build_super_tree, build_vertex_tree
+from repro.graph import from_edges
+from repro.terrain import layout_tree, treemap_svg
+
+
+@pytest.fixture
+def tree():
+    graph = from_edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+    sg = ScalarGraph(graph, [5.0, 4.0, 3.0, 2.0, 1.0])
+    return build_super_tree(build_vertex_tree(sg))
+
+
+class TestTreemap:
+    def test_one_circle_per_node(self, tree):
+        svg = treemap_svg(tree)
+        assert svg.count("<circle") == tree.n_nodes
+
+    def test_quartile_colors_used(self, tree):
+        svg = treemap_svg(tree)
+        # Red (top quartile) and blue (bottom) both appear.
+        assert "#e6261a" in svg  # RED
+        assert "#3359d9" in svg  # BLUE
+
+    def test_reuses_layout(self, tree):
+        layout = layout_tree(tree)
+        assert treemap_svg(tree, layout=layout) == treemap_svg(tree, layout=layout)
+
+    def test_saves_file(self, tree, tmp_path):
+        path = tmp_path / "map.svg"
+        svg = treemap_svg(tree, path=path)
+        assert path.read_text() == svg

@@ -1,0 +1,117 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph import from_edges
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture
+def edge_list_file(tmp_path):
+    graph = from_edges(
+        [(i, j) for i in range(6) for j in range(i + 1, 6)]  # K6
+        + [(5, 6), (6, 7), (7, 8)]
+    )
+    path = tmp_path / "graph.txt"
+    write_edge_list(graph, path)
+    return str(path)
+
+
+class TestParser:
+    def test_commands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["peaks", "--dataset", "grqc"])
+        assert args.command == "peaks"
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestTerrainCommand:
+    def test_renders_from_edge_list(self, edge_list_file, tmp_path):
+        out = tmp_path / "terrain.png"
+        code = main([
+            "terrain", "--edge-list", edge_list_file,
+            "--measure", "kcore", "-o", str(out),
+            "--resolution", "32", "--width", "64", "--height", "48",
+        ])
+        assert code == 0
+        assert out.exists()
+
+    def test_simplify_bins(self, edge_list_file, tmp_path):
+        out = tmp_path / "t.png"
+        code = main([
+            "terrain", "--edge-list", edge_list_file, "--bins", "3",
+            "-o", str(out), "--resolution", "32",
+            "--width", "64", "--height", "48",
+        ])
+        assert code == 0
+
+    def test_unknown_measure(self, edge_list_file):
+        with pytest.raises(SystemExit):
+            main([
+                "terrain", "--edge-list", edge_list_file,
+                "--measure", "nonsense",
+            ])
+
+    def test_missing_input(self):
+        with pytest.raises(SystemExit):
+            main(["terrain"])
+
+
+class TestPeaksCommand:
+    def test_lists_clique_core(self, edge_list_file, capsys):
+        code = main([
+            "peaks", "--edge-list", edge_list_file,
+            "--measure", "kcore", "--count", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "level 5" in out  # K6 is a 5-core
+        assert "6 vertices" in out
+
+    def test_edge_measure(self, edge_list_file, capsys):
+        code = main([
+            "peaks", "--edge-list", edge_list_file,
+            "--measure", "ktruss", "--count", "1",
+        ])
+        assert code == 0
+        assert "edges" in capsys.readouterr().out
+
+
+class TestLinked2DCommands:
+    def test_treemap(self, edge_list_file, tmp_path):
+        out = tmp_path / "m.svg"
+        assert main([
+            "treemap", "--edge-list", edge_list_file, "-o", str(out),
+        ]) == 0
+        assert out.read_text().startswith("<svg")
+
+    def test_profile(self, edge_list_file, tmp_path):
+        out = tmp_path / "p.svg"
+        assert main([
+            "profile", "--edge-list", edge_list_file, "-o", str(out),
+        ]) == 0
+        assert out.read_text().startswith("<svg")
+
+
+class TestCorrelateCommand:
+    def test_gci_printed(self, edge_list_file, capsys):
+        code = main([
+            "correlate", "--edge-list", edge_list_file,
+            "degree", "pagerank", "--count", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GCI(degree, pagerank)" in out
+        assert "outlier" in out
+
+    def test_unknown_field(self, edge_list_file):
+        with pytest.raises(SystemExit):
+            main([
+                "correlate", "--edge-list", edge_list_file,
+                "degree", "nonsense",
+            ])

@@ -1,0 +1,194 @@
+"""Integration tests: the paper's end-to-end pipelines."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Camera,
+    EdgeScalarGraph,
+    ScalarGraph,
+    build_edge_tree,
+    build_super_tree,
+    build_vertex_tree,
+    global_correlation_index,
+    highest_peaks,
+    layout_tree,
+    outlier_score,
+    rasterize,
+    render_terrain,
+    simplify_tree,
+    treemap_svg,
+)
+from repro.graph import datasets
+from repro.measures import (
+    betweenness_centrality,
+    bigclam,
+    community_scores,
+    core_numbers,
+    degree_centrality,
+    extract_roles,
+    truss_numbers,
+)
+
+
+class TestKCorePipeline:
+    """Fig 6(c): dataset → KC field → tree → terrain image."""
+
+    def test_grqc_kcore_terrain(self, tmp_path):
+        g = datasets.load("grqc").graph
+        sg = ScalarGraph(g, core_numbers(g).astype(float))
+        tree = build_super_tree(build_vertex_tree(sg))
+        layout = layout_tree(tree)
+        hf = rasterize(layout, resolution=64)
+        img = render_terrain(
+            tree, layout=layout, heightfield=hf,
+            width=160, height=120, path=tmp_path / "grqc.png",
+        )
+        assert img.shape == (120, 160, 3)
+        assert (tmp_path / "grqc.png").exists()
+        # The terrain exposes the planted disconnected dense cores.
+        peaks = highest_peaks(tree, count=3, layout=layout)
+        assert len(peaks) == 3
+
+    def test_rotation_and_zoom(self, tmp_path):
+        """§II-E user interactions: different views, same scene."""
+        g = datasets.load("ppi").graph
+        sg = ScalarGraph(g, core_numbers(g).astype(float))
+        tree = build_super_tree(build_vertex_tree(sg))
+        layout = layout_tree(tree)
+        hf = rasterize(layout, resolution=48)
+        base = Camera()
+        a = render_terrain(tree, layout=layout, heightfield=hf,
+                           camera=base, width=80, height=60)
+        b = render_terrain(tree, layout=layout, heightfield=hf,
+                           camera=base.rotated(d_azimuth=90),
+                           width=80, height=60)
+        c = render_terrain(tree, layout=layout, heightfield=hf,
+                           camera=base.zoomed(0.5), width=80, height=60)
+        assert not np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+
+class TestKTrussPipeline:
+    """Fig 6(e): edge field → edge tree → terrain."""
+
+    def test_ktruss_terrain(self, tmp_path):
+        g = datasets.load("ppi").graph
+        kt = truss_numbers(g)
+        eg = EdgeScalarGraph(g, kt.astype(float))
+        tree = build_super_tree(build_edge_tree(eg))
+        assert tree.kind == "edge"
+        img = render_terrain(tree, resolution=48, width=80, height=60)
+        assert img.shape == (60, 80, 3)
+
+
+class TestCommunityPipeline:
+    """Fig 8: community scores → terrain with sub-peaks."""
+
+    def test_dblp_community_terrain(self):
+        ds = datasets.load("dblp")
+        F = bigclam(ds.graph, 4, max_iter=30, seed=1)
+        scores = community_scores(F)
+        # Community with the strongest planted structure.
+        sg = ScalarGraph(ds.graph, scores[:, 0])
+        tree = build_super_tree(build_vertex_tree(sg))
+        peaks = highest_peaks(tree, count=2, layout=layout_tree(tree))
+        assert peaks[0].size >= 1
+
+
+class TestRolesPipeline:
+    """Fig 9: community terrain coloured by dominant role."""
+
+    def test_amazon_role_coloring(self, tmp_path):
+        from repro.terrain import role_colors
+        from repro.terrain.colormap import _ROLE_COLORS
+
+        ds = datasets.load("amazon")
+        g = ds.graph
+        sg = ScalarGraph(g, core_numbers(g).astype(float))
+        tree = build_super_tree(build_vertex_tree(sg))
+        roles = extract_roles(g)
+        img = render_terrain(
+            tree,
+            categorical_labels=roles,
+            color_table=_ROLE_COLORS,
+            resolution=48, width=80, height=60,
+            path=tmp_path / "roles.png",
+        )
+        assert (tmp_path / "roles.png").exists()
+
+
+class TestMultifieldPipeline:
+    """Fig 10 / §III-C: outlier terrain from degree vs betweenness."""
+
+    def test_astro_outlier_terrain(self):
+        ds = datasets.load("astro")
+        g = ds.graph
+        deg = degree_centrality(g, normalized=False)
+        bet = betweenness_centrality(g, samples=64, seed=0)
+        gci = global_correlation_index(g, deg, bet)
+        assert gci > 0.5  # paper: 0.89, strongly positive
+        scores = outlier_score(g, deg, bet)
+        sg = ScalarGraph(g, scores)
+        tree = build_super_tree(build_vertex_tree(sg))
+        # Paper: "most high peaks are blue", i.e. outlier summits have
+        # low degree.
+        peaks = highest_peaks(tree, count=5)
+        summit_degrees = [deg[p.items].mean() for p in peaks]
+        assert np.median(summit_degrees) < np.median(deg)
+        # And the planted bridges rank in the top outlier decile.
+        bridges = ds.planted["bridges"]
+        assert (
+            scores[bridges] > np.quantile(scores, 0.9)
+        ).mean() >= 0.5
+
+
+class TestQueryPipeline:
+    """Fig 11: query table → NN graph → genus-coloured terrain."""
+
+    def test_plant_terrain(self, tmp_path):
+        from repro.query import knn_graph, plant_query_table
+        from repro.terrain.colormap import _RAMP
+
+        table, genus = plant_query_table(per_genus=40, seed=0)
+        g = knn_graph(table, k=5)
+        sg = ScalarGraph(g, table[:, 0])
+        tree = build_super_tree(build_vertex_tree(sg))
+        img = render_terrain(
+            tree,
+            categorical_labels=genus,
+            color_table=_RAMP[[3, 1, 0]],  # red/green/blue genera
+            resolution=48, width=80, height=60,
+            path=tmp_path / "plants.png",
+        )
+        assert (tmp_path / "plants.png").exists()
+
+
+class TestSimplification:
+    """§II-E Simplification: coarse trees render faster, same story."""
+
+    def test_simplified_terrain(self):
+        g = datasets.load("wikivote").graph
+        sg = ScalarGraph(g, core_numbers(g).astype(float))
+        raw = build_vertex_tree(sg)
+        exact = build_super_tree(raw)
+        coarse = simplify_tree(raw, 6)
+        assert coarse.n_nodes <= exact.n_nodes
+        img = render_terrain(coarse, resolution=40, width=64, height=48)
+        assert img.shape == (48, 64, 3)
+
+    def test_treemap_linked_view(self):
+        g = datasets.load("wikivote").graph
+        sg = ScalarGraph(g, core_numbers(g).astype(float))
+        tree = build_super_tree(build_vertex_tree(sg))
+        svg = treemap_svg(tree, size=160)
+        assert svg.count("<circle") == tree.n_nodes
+
+
+class TestPublicApi:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
