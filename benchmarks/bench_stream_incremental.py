@@ -1,0 +1,178 @@
+"""Speedup curve: incremental scalar-tree maintenance vs full rebuild.
+
+The streaming subsystem's promise is work proportional to the touched
+α-components: a batch whose impact level θ sits in the field's low tail
+replays only the vertices at levels ≤ θ instead of re-running
+Algorithm 1 over every edge.  We measure that on a Holme–Kim power-law
+graph (≥10k edges) carrying a continuous per-vertex activity field,
+under *fringe churn* — the classic dynamic-network regime (Greene et
+al. style evolving benchmarks) where most edits touch low-activity
+vertices: scalar jitter and edge toggles confined to the bottom decile.
+
+Both pipelines share every data structure; they differ only in
+``rebuild_threshold`` (0.0 → rebuild the whole tree each batch, the
+static baseline; 0.5 → checkpoint rollback + suffix replay).  A final
+cross-check asserts the incremental tree is array-identical to a fresh
+``build_vertex_tree`` on the compacted snapshot.
+
+Expected shape: ≥5× speedup for small batches (≤1% of edges per
+batch), decaying toward parity as batches grow; a uniform-random
+stream (impact levels anywhere) stays near 1× because the dirtiness
+threshold falls back to full rebuilds.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Set, Tuple
+
+import numpy as np
+
+from repro.core import ScalarGraph, build_vertex_tree
+from repro.graph import generators
+from repro.stream import AddEdge, RemoveEdge, SetScalar, StreamingScalarTree
+
+_N = 6000
+_SEED = 17
+# (fraction of edges per batch, number of batches)
+_CURVE = [(0.001, 30), (0.005, 15), (0.01, 10), (0.05, 5)]
+
+
+def _make_field() -> ScalarGraph:
+    graph = generators.powerlaw_cluster(_N, 2, 0.4, seed=_SEED)
+    assert graph.n_edges >= 10_000, "benchmark graph must have >=10k edges"
+    rng = np.random.default_rng(_SEED)
+    scalars = rng.uniform(0.0, 1.0, graph.n_vertices)
+    return ScalarGraph(graph, scalars)
+
+
+def _fringe_stream(
+    field: ScalarGraph,
+    batch_size: int,
+    n_batches: int,
+    seed: int,
+    low_quantile: float = 0.10,
+) -> List[List[object]]:
+    """Batches of scalar jitter + edge toggles in the field's low tail."""
+    rng = np.random.default_rng(seed)
+    cut = float(np.quantile(field.scalars, low_quantile))
+    low = np.flatnonzero(field.scalars <= cut)
+    live: Set[Tuple[int, int]] = set()
+    batches: List[List[object]] = []
+    for _ in range(n_batches):
+        batch: List[object] = []
+        for _ in range(batch_size):
+            roll = rng.random()
+            if roll < 0.5:
+                v = int(rng.choice(low))
+                batch.append(SetScalar(v, float(rng.uniform(0.0, cut))))
+            elif roll < 0.75 or not live:
+                u, v = (int(x) for x in rng.choice(low, 2, replace=False))
+                if u != v:
+                    key = (u, v) if u < v else (v, u)
+                    live.add(key)
+                    batch.append(AddEdge(u, v))
+            else:
+                key = sorted(live)[int(rng.integers(len(live)))]
+                live.discard(key)
+                batch.append(RemoveEdge(*key))
+        batches.append(batch)
+    return batches
+
+
+def _uniform_stream(
+    field: ScalarGraph, batch_size: int, n_batches: int, seed: int
+) -> List[List[object]]:
+    """Edits anywhere in the field — the adversarial case."""
+    rng = np.random.default_rng(seed)
+    n = field.n_vertices
+    lo, hi = float(field.scalars.min()), float(field.scalars.max())
+    batches: List[List[object]] = []
+    for _ in range(n_batches):
+        batch: List[object] = []
+        for _ in range(batch_size):
+            if rng.random() < 0.5:
+                batch.append(
+                    SetScalar(int(rng.integers(n)), float(rng.uniform(lo, hi)))
+                )
+            else:
+                u, v = (int(x) for x in rng.integers(0, n, 2))
+                if u != v:
+                    batch.append(AddEdge(u, v))
+        batches.append(batch)
+    return batches
+
+
+def _replay_time(
+    field: ScalarGraph, batches, rebuild_threshold: float
+) -> Tuple[float, StreamingScalarTree]:
+    stream = StreamingScalarTree(
+        field, rebuild_threshold=rebuild_threshold
+    )
+    t0 = time.perf_counter()
+    for batch in batches:
+        stream.apply(batch)
+    return time.perf_counter() - t0, stream
+
+
+def test_stream_incremental_speedup(report):
+    field = _make_field()
+    m = field.n_edges
+    lines = [
+        f"fringe churn on powerlaw_cluster(n={_N}): "
+        f"{field.n_vertices} vertices, {m} edges",
+        f"{'batch':>8}{'edits':>7}{'batches':>9}{'full(ms)':>10}"
+        f"{'incr(ms)':>10}{'speedup':>9}{'replayed':>10}",
+    ]
+    speedups = {}
+    for frac, n_batches in _CURVE:
+        batch_size = max(1, int(frac * m))
+        batches = _fringe_stream(field, batch_size, n_batches, seed=23)
+        t_full, _ = _replay_time(field, batches, rebuild_threshold=0.0)
+        t_inc, stream = _replay_time(field, batches, rebuild_threshold=0.5)
+
+        # Equivalence: the maintained tree matches a fresh static build.
+        ref = build_vertex_tree(stream.snapshot())
+        assert np.array_equal(stream.tree.parent, ref.parent)
+        assert np.array_equal(stream.tree.scalars, ref.scalars)
+
+        speedup = t_full / t_inc
+        speedups[frac] = speedup
+        per_full = 1000 * t_full / n_batches
+        per_inc = 1000 * t_inc / n_batches
+        lines.append(
+            f"{frac:>8.1%}{batch_size:>7}{n_batches:>9}{per_full:>10.2f}"
+            f"{per_inc:>10.2f}{speedup:>8.1f}x"
+            f"{stream.stats['replayed_vertices']:>10}"
+        )
+    report("stream_incremental_speedup", "\n".join(lines))
+
+    for frac, speedup in speedups.items():
+        if frac <= 0.01:
+            assert speedup >= 5.0, (
+                f"incremental maintenance only {speedup:.1f}x faster than "
+                f"full rebuild at batch fraction {frac:.1%} (need >=5x)"
+            )
+
+
+def test_stream_threshold_bounds_worst_case(report):
+    """Uniform edits hit high impact levels; the dirtiness threshold
+    must keep incremental no worse than ~full-rebuild cost."""
+    field = _make_field()
+    batch_size = max(1, int(0.005 * field.n_edges))
+    batches = _uniform_stream(field, batch_size, n_batches=8, seed=5)
+    t_full, _ = _replay_time(field, batches, rebuild_threshold=0.0)
+    t_inc, stream = _replay_time(field, batches, rebuild_threshold=0.5)
+
+    ref = build_vertex_tree(stream.snapshot())
+    assert np.array_equal(stream.tree.parent, ref.parent)
+
+    ratio = t_inc / t_full
+    report(
+        "stream_worst_case",
+        f"uniform stream, {batch_size} edits/batch: "
+        f"incremental/full time ratio {ratio:.2f} "
+        f"({stream.stats['full_rebuilds']} fallback rebuilds, "
+        f"{stream.stats['incremental']} incremental)",
+    )
+    assert ratio < 3.0, "threshold fallback should bound the worst case"

@@ -1,0 +1,11 @@
+"""Shim for toolchains without PEP 660 editable-install support.
+
+All metadata lives in pyproject.toml; ``pip install -e .`` uses it
+directly on modern setuptools.  This file only enables
+``python setup.py develop`` on older environments missing the ``wheel``
+package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -36,6 +36,14 @@ Subpackages
     Nearest-neighbour graphs over query results (Fig 11).
 ``repro.study``
     Simulated user study regenerating Tables IV–VI.
+``repro.stream``
+    Dynamic scalar fields: :class:`~repro.stream.delta.DeltaGraph`
+    overlay on the immutable CSR substrate, typed edit events with a
+    JSONL log format, incremental scalar-tree maintenance
+    (:class:`~repro.stream.incremental.StreamingScalarTree` — checkpoint
+    rollback + dirty-suffix replay, ≥5× faster than full rebuilds on
+    small-batch streams), and sliding-window expiry for temporal
+    networks.  Replayed from the CLI via ``repro stream``.
 """
 
 from .core import (

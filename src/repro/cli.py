@@ -1,19 +1,23 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Four commands cover the common workflows without writing any Python:
+Six commands cover the common workflows without writing any Python:
 
 * ``terrain`` — render the terrain of a registered dataset (or an edge
   list file) under a chosen measure;
 * ``peaks``   — list the highest disconnected peaks (densest K-cores /
   K-trusses / community cores);
 * ``treemap`` / ``profile`` — the linked 2D displays;
-* ``correlate`` — LCI/GCI of two vertex measures.
+* ``correlate`` — LCI/GCI of two vertex measures;
+* ``stream``  — replay a JSONL edit log through the incremental
+  maintainer and emit terrain frames.
 
 Examples::
 
     python -m repro terrain --dataset grqc --measure kcore -o out.png
     python -m repro peaks --dataset ppi --measure ktruss --count 3
     python -m repro correlate --dataset astro degree betweenness
+    python -m repro stream --dataset amazon --log edits.jsonl \
+        --frames-dir frames/
 """
 
 from __future__ import annotations
@@ -48,6 +52,7 @@ from .measures import (
     pagerank,
     truss_numbers,
 )
+from .stream import SlidingWindow, StreamingScalarTree, read_edit_log
 from .terrain import (
     Camera,
     highest_peaks,
@@ -176,6 +181,87 @@ def _cmd_correlate(args) -> int:
     return 0
 
 
+def _cmd_stream(args) -> int:
+    # Cheap flag/log validation first — measure + tree construction on
+    # a large dataset can take minutes.
+    if args.measure not in _VERTEX_MEASURES:
+        raise SystemExit(
+            f"stream supports vertex measures only; "
+            f"pick from {sorted(_VERTEX_MEASURES)}"
+        )
+    if args.window is not None and args.window <= 0:
+        raise SystemExit("--window must be a positive horizon")
+    if args.frame_every < 1:
+        raise SystemExit("--frame-every must be >= 1")
+    try:
+        batches = read_edit_log(args.log)
+    except FileNotFoundError:
+        raise SystemExit(f"edit log not found: {args.log}")
+    except ValueError as exc:
+        raise SystemExit(f"bad edit log {args.log}: {exc}")
+
+    graph = _load_graph(args)
+    field = ScalarGraph(graph, _VERTEX_MEASURES[args.measure](graph))
+    stream = StreamingScalarTree(
+        field, rebuild_threshold=args.rebuild_threshold
+    )
+    window = (
+        SlidingWindow(stream, args.window) if args.window else None
+    )
+
+    frames_dir: Optional[Path] = None
+    if args.frames_dir:
+        frames_dir = Path(args.frames_dir)
+        frames_dir.mkdir(parents=True, exist_ok=True)
+
+    n_edits = 0
+    n_frames = 0
+    last_t = float("-inf")
+    for i, (when, batch) in enumerate(batches):
+        n_edits += len(batch)
+        try:
+            if window is not None:
+                # Untimed commits fall back to the batch index, clamped
+                # so a mix with earlier explicit timestamps never goes
+                # backwards; explicit decreasing stamps still error.
+                t = max(last_t, float(i)) if when is None else when
+                window.push(t, batch)
+                last_t = t
+            else:
+                stream.apply(batch)
+        except (IndexError, ValueError) as exc:
+            raise SystemExit(f"edit batch {i} of {args.log}: {exc}")
+        if frames_dir is not None and i % args.frame_every == 0:
+            if args.bins:
+                frame_tree = simplify_tree(
+                    stream.tree, args.bins, scheme="quantile"
+                )
+            else:
+                frame_tree = stream.super_tree()
+            render_terrain(
+                frame_tree,
+                resolution=args.resolution,
+                width=args.width, height=args.height,
+                path=frames_dir / f"frame_{i:05d}.png",
+            )
+            n_frames += 1
+
+    stats = stream.stats
+    print(
+        f"replayed {stats['batches']} batches ({n_edits} edits) of "
+        f"{args.log}: {stats['incremental']} incremental, "
+        f"{stats['full_rebuilds']} full rebuilds, "
+        f"{stats['replayed_vertices']} vertices replayed"
+    )
+    if frames_dir is not None:
+        print(f"{n_frames} terrain frames -> {frames_dir}")
+    print(
+        f"final tree: {stream.super_tree().n_nodes} super nodes over "
+        f"{stream.delta.n_edges} edges"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The assembled argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -221,6 +307,35 @@ def build_parser() -> argparse.ArgumentParser:
     correlate.add_argument("field_j")
     correlate.add_argument("--count", type=int, default=5)
     correlate.set_defaults(func=_cmd_correlate)
+
+    stream = sub.add_parser(
+        "stream",
+        help="replay a JSONL edit log incrementally, emit terrain frames",
+    )
+    _add_common(stream)
+    stream.add_argument(
+        "--log", required=True, help="JSONL edit log (see repro.stream.editlog)"
+    )
+    stream.add_argument(
+        "--frames-dir", default=None,
+        help="directory for terrain frames (omit to skip rendering)",
+    )
+    stream.add_argument(
+        "--frame-every", type=int, default=1,
+        help="render every Nth batch",
+    )
+    stream.add_argument(
+        "--window", type=float, default=None,
+        help="sliding-window horizon W: edits expire after W time units",
+    )
+    stream.add_argument(
+        "--rebuild-threshold", type=float, default=0.5,
+        help="dirty-vertex fraction beyond which a full rebuild is used",
+    )
+    stream.add_argument("--resolution", type=int, default=120)
+    stream.add_argument("--width", type=int, default=480)
+    stream.add_argument("--height", type=int, default=360)
+    stream.set_defaults(func=_cmd_stream)
     return parser
 
 

@@ -24,10 +24,10 @@ from .serialize import (
     super_tree_from_json,
     super_tree_to_json,
 )
-from .scalar_tree import ScalarTree, build_vertex_tree
+from .scalar_tree import ScalarTree, attach_vertex, build_vertex_tree
 from .simplify import discretize_quantile, discretize_uniform, simplify_tree
-from .super_tree import SuperTree, build_super_tree
-from .union_find import NaiveUnionFind, UnionFind
+from .super_tree import SuperTree, build_super_tree, splice_super_tree
+from .union_find import NaiveUnionFind, RollbackUnionFind, UnionFind
 
 __all__ = [
     "ScalarGraph",
@@ -59,4 +59,7 @@ __all__ = [
     "outlier_score",
     "UnionFind",
     "NaiveUnionFind",
+    "RollbackUnionFind",
+    "attach_vertex",
+    "splice_super_tree",
 ]

@@ -23,7 +23,7 @@ import numpy as np
 from .scalar_graph import ScalarGraph
 from .union_find import UnionFind
 
-__all__ = ["ScalarTree", "build_vertex_tree"]
+__all__ = ["ScalarTree", "build_vertex_tree", "attach_vertex"]
 
 
 class ScalarTree:
@@ -130,11 +130,62 @@ class ScalarTree:
         ):
             raise ValueError("child scalar below parent scalar")
 
+    def spliced(self, items, parents, scalars=None) -> "ScalarTree":
+        """New tree with ``parent[items]`` replaced by ``parents``.
+
+        The splice hook for incremental maintenance
+        (:mod:`repro.stream.incremental`): after a localized update has
+        re-derived parent pointers for a dirty region, the clean
+        majority of the tree is reused by copying and patching rather
+        than re-running Algorithm 1.  ``scalars``, when given, replaces
+        the whole scalar field (scalar edits change values outside the
+        spliced parent set).  Caches (children table, roots) are not
+        carried over.
+        """
+        new_parent = self.parent.copy()
+        if len(np.asarray(items, dtype=np.int64)):
+            new_parent[np.asarray(items, dtype=np.int64)] = np.asarray(
+                parents, dtype=np.int64
+            )
+        new_scalars = self.scalars if scalars is None else scalars
+        return ScalarTree(
+            new_parent, np.array(new_scalars, dtype=np.float64), kind=self.kind
+        )
+
     def __repr__(self) -> str:
         return (
             f"ScalarTree(kind={self.kind!r}, n_nodes={self.n_nodes}, "
             f"n_roots={len(self.roots)})"
         )
+
+
+def attach_vertex(v, neighbors, rank, uf, parent, tree_root, journal=None):
+    """One step of Algorithm 1: fold vertex ``v`` into the partial forest.
+
+    Scans ``neighbors`` of ``v``; every already-processed neighbour
+    (``rank[w] < rank[v]``) whose subtree is disjoint from ``v``'s makes
+    ``v`` the new root of the merged subtree.  ``rank``, ``parent`` and
+    ``tree_root`` are plain lists mutated in place; ``uf`` is any of the
+    union-find variants in :mod:`repro.core.union_find`.
+
+    When ``journal`` is given, each merge appends
+    ``(child, merged_root, previous_tree_root)`` so callers pairing it
+    with a :class:`~repro.core.union_find.RollbackUnionFind` can undo the
+    step exactly (see :mod:`repro.stream.incremental`).
+    """
+    rank_v = rank[v]
+    for w in neighbors:
+        if rank[w] < rank_v:
+            root_v = uf.find(v)
+            root_w = uf.find(w)
+            if root_v != root_w:
+                parent[tree_root[root_w]] = v
+                merged = uf.union(root_v, root_w)
+                if journal is not None:
+                    journal.append(
+                        (tree_root[root_w], merged, tree_root[merged])
+                    )
+                tree_root[merged] = v
 
 
 def build_vertex_tree(scalar_graph: ScalarGraph) -> ScalarTree:
@@ -165,15 +216,10 @@ def build_vertex_tree(scalar_graph: ScalarGraph) -> ScalarTree:
     rank_list = rank.tolist()
 
     for v in order.tolist():
-        rank_v = rank_list[v]
-        for pos in range(indptr[v], indptr[v + 1]):
-            w = indices[pos]
-            if rank_list[w] < rank_v:
-                root_v, root_w = uf.find(v), uf.find(w)
-                if root_v != root_w:
-                    parent[tree_root[root_w]] = v
-                    merged = uf.union(root_v, root_w)
-                    tree_root[merged] = v
+        attach_vertex(
+            v, indices[indptr[v]: indptr[v + 1]],
+            rank_list, uf, parent, tree_root,
+        )
 
     return ScalarTree(
         np.array(parent, dtype=np.int64), scalars.copy(), kind="vertex"

@@ -20,7 +20,7 @@ import numpy as np
 
 from .scalar_tree import ScalarTree
 
-__all__ = ["SuperTree", "build_super_tree"]
+__all__ = ["SuperTree", "build_super_tree", "splice_super_tree"]
 
 
 class SuperTree:
@@ -282,5 +282,65 @@ def build_super_tree(tree: ScalarTree) -> SuperTree:
         np.array(super_scalars, dtype=np.float64),
         np.array(super_parent, dtype=np.int64),
         [np.array(g, dtype=np.int64) for g in members],
+        kind=tree.kind,
+    )
+
+
+def splice_super_tree(
+    tree: ScalarTree, old: SuperTree, clean_above: float
+) -> SuperTree:
+    """Algorithm 2 with structural reuse after a localized tree update.
+
+    Contract (provided by the suffix replay in
+    :mod:`repro.stream.incremental`): every equal-value chain of ``tree``
+    whose scalar is strictly greater than ``clean_above`` has exactly the
+    same membership it had in the tree that ``old`` was built from — only
+    the chain's *parent* may differ.  Such chains reuse their member
+    arrays from ``old`` (one vectorised ``node_of`` assignment instead of
+    a Python BFS); chains at or below ``clean_above`` are rebuilt as in
+    :func:`build_super_tree`.
+
+    Super-node ids follow the same topological head order as
+    :func:`build_super_tree`, so the result is array-identical to a full
+    rebuild on ``tree``.
+    """
+    n = tree.n_nodes
+    scalars = tree.scalars
+    children = tree.children()
+    parent = tree.parent
+
+    old_node_of = old.node_of_item()
+    node_of = -np.ones(n, dtype=np.int64)
+    super_scalars: List[float] = []
+    super_parent: List[int] = []
+    members: List[np.ndarray] = []
+
+    for head in tree.iter_topological():
+        p = parent[head]
+        if p >= 0 and scalars[p] >= scalars[head]:
+            continue  # not a chain head
+        sid = len(super_scalars)
+        super_scalars.append(float(scalars[head]))
+        super_parent.append(-1 if p < 0 else int(node_of[p]))
+        if scalars[head] > clean_above:
+            group = old.members[int(old_node_of[head])]
+            node_of[group] = sid
+            members.append(group)
+        else:
+            collected: List[int] = []
+            queue = deque([int(head)])
+            while queue:
+                node = queue.popleft()
+                node_of[node] = sid
+                collected.append(node)
+                for child in children[node]:
+                    if scalars[child] == scalars[node]:
+                        queue.append(child)
+            members.append(np.array(collected, dtype=np.int64))
+
+    return SuperTree(
+        np.array(super_scalars, dtype=np.float64),
+        np.array(super_parent, dtype=np.int64),
+        members,
         kind=tree.kind,
     )

@@ -3,14 +3,16 @@
 Algorithm 1 and Algorithm 3 of the paper lean on union-find for their
 near-linear running time: the amortised cost per operation is
 O(α(n)) with path compression + union by size.  A no-compression variant
-is kept for the ablation bench (``bench_ablation_union_find``).
+is kept for the ablation bench (``bench_ablation_union_find``), and a
+rollback-capable variant (:class:`RollbackUnionFind`) backs the
+incremental scalar-tree maintenance in :mod:`repro.stream.incremental`.
 """
 
 from __future__ import annotations
 
 from typing import List
 
-__all__ = ["UnionFind", "NaiveUnionFind"]
+__all__ = ["UnionFind", "NaiveUnionFind", "RollbackUnionFind"]
 
 
 class UnionFind:
@@ -61,6 +63,72 @@ class UnionFind:
         for x in range(len(self.parent)):
             by_root.setdefault(self.find(x), []).append(x)
         return list(by_root.values())
+
+    def __len__(self) -> int:
+        return len(self.parent)
+
+
+class RollbackUnionFind:
+    """Union-find with union by size and snapshot/rollback.
+
+    Path compression is deliberately absent: rolling a compressed
+    structure back would require journalling every ``find``, so this
+    variant trades O(α(n)) for a clean O(log n) bound per ``find`` and
+    O(1) undo per ``union``.  :class:`repro.stream.incremental` uses it
+    to rewind Algorithm 1 to a checkpoint above the edited scalar level
+    and replay only the suffix.
+
+    ``snapshot()`` returns an opaque token; ``rollback(token)`` undoes
+    every union performed since that token was taken.
+    """
+
+    __slots__ = ("parent", "size", "n_sets", "_history")
+
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+        self.size = [1] * n
+        self.n_sets = n
+        self._history: List[int] = []
+
+    def find(self, x: int) -> int:
+        """Representative of the set containing ``x`` (no compression)."""
+        parent = self.parent
+        while parent[x] != x:
+            x = parent[x]
+        return x
+
+    def union(self, x: int, y: int) -> int:
+        """Merge the sets of ``x`` and ``y``; return the new representative."""
+        rx, ry = self.find(x), self.find(y)
+        if rx == ry:
+            return rx
+        if self.size[rx] < self.size[ry]:
+            rx, ry = ry, rx
+        self.parent[ry] = rx
+        self.size[rx] += self.size[ry]
+        self.n_sets -= 1
+        self._history.append(ry)
+        return rx
+
+    def connected(self, x: int, y: int) -> bool:
+        """Whether ``x`` and ``y`` are currently in the same set."""
+        return self.find(x) == self.find(y)
+
+    def snapshot(self) -> int:
+        """Opaque token for the current state; pass to :meth:`rollback`."""
+        return len(self._history)
+
+    def rollback(self, token: int) -> None:
+        """Undo every union performed since ``snapshot()`` returned ``token``."""
+        if not 0 <= token <= len(self._history):
+            raise ValueError("rollback token out of range")
+        history = self._history
+        while len(history) > token:
+            ry = history.pop()
+            rx = self.parent[ry]
+            self.parent[ry] = ry
+            self.size[rx] -= self.size[ry]
+            self.n_sets += 1
 
     def __len__(self) -> int:
         return len(self.parent)

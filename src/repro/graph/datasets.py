@@ -14,6 +14,7 @@ graph.  Results are cached per-process.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
@@ -22,7 +23,14 @@ from . import generators
 from .builders import from_edge_array
 from .csr import CSRGraph
 
-__all__ = ["Dataset", "load", "names", "dataset_table", "role_community_graph"]
+__all__ = [
+    "Dataset",
+    "load",
+    "names",
+    "clear_cache",
+    "dataset_table",
+    "role_community_graph",
+]
 
 
 @dataclass
@@ -362,23 +370,33 @@ _REGISTRY: Dict[str, Callable[[], Dataset]] = {
     "dblp": _make_dblp,
 }
 
-_CACHE: Dict[str, Dataset] = {}
-
-
 def names() -> List[str]:
     """All registered dataset names, in Table I order."""
     return list(_REGISTRY)
 
 
+@lru_cache(maxsize=None)
+def _load_cached(name: str) -> Dataset:
+    return _REGISTRY[name]()
+
+
 def load(name: str) -> Dataset:
-    """Load (and cache) the stand-in dataset called ``name``."""
+    """Load the stand-in dataset called ``name``.
+
+    Memoized per process (``functools.lru_cache`` keyed by name), so
+    repeated loads from benchmarks, the CLI and stream replay share one
+    generated instance; use :func:`clear_cache` to force regeneration.
+    """
     if name not in _REGISTRY:
         raise KeyError(
             f"unknown dataset {name!r}; available: {', '.join(names())}"
         )
-    if name not in _CACHE:
-        _CACHE[name] = _REGISTRY[name]()
-    return _CACHE[name]
+    return _load_cached(name)
+
+
+def clear_cache() -> None:
+    """Drop all memoized datasets (mainly for tests)."""
+    _load_cached.cache_clear()
 
 
 def dataset_table(include_large: bool = True) -> List[Dict[str, object]]:

@@ -20,6 +20,13 @@ class TestRegistry:
     def test_caching_returns_same_object(self):
         assert datasets.load("grqc") is datasets.load("grqc")
 
+    def test_clear_cache_regenerates(self):
+        first = datasets.load("ppi")
+        datasets.clear_cache()
+        fresh = datasets.load("ppi")
+        assert fresh is not first
+        assert fresh.graph == first.graph  # deterministic generator
+
     def test_dataset_table_rows(self):
         rows = datasets.dataset_table(include_large=False)
         names = [r["dataset"] for r in rows]

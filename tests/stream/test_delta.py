@@ -1,0 +1,115 @@
+"""DeltaGraph: overlay semantics and compaction."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edges
+from repro.stream import DeltaGraph
+
+
+@pytest.fixture
+def base():
+    return from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])  # 4-cycle
+
+
+class TestEdgeOverlay:
+    def test_add_new_edge(self, base):
+        d = DeltaGraph(base)
+        assert d.add_edge(0, 2)
+        assert d.has_edge(0, 2) and d.has_edge(2, 0)
+        assert d.n_edges == base.n_edges + 1
+        assert d.neighbors_list(0) == [1, 2, 3]
+
+    def test_add_existing_edge_is_noop(self, base):
+        d = DeltaGraph(base)
+        assert not d.add_edge(0, 1)
+        assert d.n_edges == base.n_edges
+
+    def test_remove_base_edge(self, base):
+        d = DeltaGraph(base)
+        assert d.remove_edge(1, 2)
+        assert not d.has_edge(2, 1)
+        assert d.n_edges == base.n_edges - 1
+        assert d.neighbors_list(1) == [0]
+
+    def test_remove_missing_edge_is_noop(self, base):
+        d = DeltaGraph(base)
+        assert not d.remove_edge(0, 2)
+        assert d.n_edges == base.n_edges
+
+    def test_add_then_remove_cancels(self, base):
+        d = DeltaGraph(base)
+        d.add_edge(0, 2)
+        d.remove_edge(0, 2)
+        assert not d.has_edge(0, 2)
+        assert d.n_pending_edits == 0
+
+    def test_remove_then_readd_cancels(self, base):
+        d = DeltaGraph(base)
+        d.remove_edge(0, 1)
+        d.add_edge(0, 1)
+        assert d.has_edge(0, 1)
+        assert d.n_pending_edits == 0
+
+    def test_self_loop_rejected(self, base):
+        with pytest.raises(ValueError):
+            DeltaGraph(base).add_edge(1, 1)
+
+    def test_out_of_range_rejected(self, base):
+        with pytest.raises(IndexError):
+            DeltaGraph(base).add_edge(0, 99)
+
+
+class TestScalars:
+    def test_set_scalar_returns_previous(self, base):
+        d = DeltaGraph(base, scalars=[1.0, 2.0, 3.0, 4.0])
+        assert d.set_scalar(2, 7.5) == 3.0
+        assert d.scalars[2] == 7.5
+
+    def test_scalars_copied_not_aliased(self, base):
+        src = np.ones(4)
+        d = DeltaGraph(base, scalars=src)
+        d.set_scalar(0, 9.0)
+        assert src[0] == 1.0
+
+    def test_no_scalar_field(self, base):
+        with pytest.raises(ValueError):
+            DeltaGraph(base).set_scalar(0, 1.0)
+
+    def test_non_finite_rejected(self, base):
+        d = DeltaGraph(base, scalars=np.zeros(4))
+        with pytest.raises(ValueError):
+            d.set_scalar(0, float("nan"))
+
+
+class TestCompact:
+    def test_compact_without_edits_returns_base(self, base):
+        d = DeltaGraph(base)
+        assert d.compact() is base
+
+    def test_compact_merges_overlay(self, base):
+        d = DeltaGraph(base)
+        d.add_edge(0, 2)
+        d.remove_edge(2, 3)
+        snap = d.compact()
+        assert snap.has_edge(0, 2)
+        assert not snap.has_edge(2, 3)
+        assert snap.n_edges == d.n_edges
+        # The merged view and the snapshot agree vertex by vertex.
+        for v in range(4):
+            assert snap.neighbors(v).tolist() == d.neighbors_list(v)
+
+    def test_rebase_clears_overlay(self, base):
+        d = DeltaGraph(base)
+        d.add_edge(1, 3)
+        snap = d.rebase()
+        assert d.base is snap
+        assert d.n_pending_edits == 0
+        assert d.has_edge(1, 3)
+
+    def test_edge_array_matches_view(self, base):
+        d = DeltaGraph(base)
+        d.add_edge(0, 2)
+        d.remove_edge(0, 1)
+        pairs = {tuple(p) for p in d.edge_array()}
+        assert pairs == {(0, 2), (1, 2), (2, 3), (0, 3)}

@@ -1,0 +1,80 @@
+"""Edit events and the JSONL edit-log round trip."""
+
+import io
+
+import pytest
+
+from repro.stream import (
+    AddEdge,
+    RemoveEdge,
+    SetScalar,
+    iter_edit_log,
+    read_edit_log,
+    write_edit_log,
+)
+from repro.stream.editlog import edit_from_obj, edit_to_obj
+
+
+class TestObjRoundTrip:
+    @pytest.mark.parametrize(
+        "edit",
+        [SetScalar(3, 2.5), AddEdge(1, 2), RemoveEdge(0, 4)],
+    )
+    def test_round_trip(self, edit):
+        assert edit_from_obj(edit_to_obj(edit)) == edit
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            edit_from_obj({"op": "frobnicate"})
+
+    def test_missing_field(self):
+        with pytest.raises(ValueError, match="malformed"):
+            edit_from_obj({"op": "set", "v": 1})
+
+    def test_null_field(self):
+        with pytest.raises(ValueError, match="malformed"):
+            edit_from_obj({"op": "add", "u": 0, "v": None})
+
+    def test_non_object_record(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            list(iter_edit_log(["[1, 2]"]))
+
+    def test_not_an_edit(self):
+        with pytest.raises(TypeError):
+            edit_to_obj("nope")
+
+
+class TestLogRoundTrip:
+    def test_file_round_trip(self, tmp_path):
+        batches = [
+            [SetScalar(0, 1.0), AddEdge(0, 1)],
+            [RemoveEdge(0, 1)],
+            [],
+        ]
+        path = write_edit_log(tmp_path / "log.jsonl", batches)
+        out = read_edit_log(path)
+        assert [b for _, b in out] == batches
+        assert [t for t, _ in out] == [None, None, None]
+
+    def test_timestamps(self, tmp_path):
+        path = write_edit_log(
+            tmp_path / "log.jsonl",
+            [[AddEdge(0, 1)], [AddEdge(1, 2)]],
+            times=[0.5, 2.0],
+        )
+        assert [t for t, _ in read_edit_log(path)] == [0.5, 2.0]
+
+    def test_trailing_edits_form_final_batch(self):
+        text = '{"op": "add", "u": 0, "v": 1}\n{"op": "commit"}\n' \
+               '{"op": "set", "v": 2, "value": 3.0}\n'
+        out = read_edit_log(io.StringIO(text))
+        assert out == [
+            (None, [AddEdge(0, 1)]),
+            (None, [SetScalar(2, 3.0)]),
+        ]
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# recorded stream\n\n" \
+               '{"op": "add", "u": 0, "v": 1}\n{"op": "commit", "t": 1}\n'
+        out = list(iter_edit_log(text.splitlines()))
+        assert out == [(1.0, [AddEdge(0, 1)])]

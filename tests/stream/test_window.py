@@ -1,0 +1,89 @@
+"""SlidingWindow: expiry semantics over a streaming tree."""
+
+import numpy as np
+import pytest
+
+from repro.core import ScalarGraph, build_vertex_tree
+from repro.graph import from_edges
+from repro.stream import (
+    AddEdge,
+    RemoveEdge,
+    SetScalar,
+    SlidingWindow,
+    StreamingScalarTree,
+)
+
+
+@pytest.fixture
+def stream():
+    graph = from_edges([(0, 1), (1, 2), (2, 3)])
+    return StreamingScalarTree(
+        ScalarGraph(graph, [4.0, 3.0, 2.0, 1.0])
+    )
+
+
+class TestExpiry:
+    def test_added_edge_lapses(self, stream):
+        w = SlidingWindow(stream, horizon=2.0)
+        w.push(0.0, [AddEdge(0, 3)])
+        assert stream.delta.has_edge(0, 3)
+        w.advance(1.9)
+        assert stream.delta.has_edge(0, 3)
+        w.advance(2.1)
+        assert not stream.delta.has_edge(0, 3)
+        assert w.n_live == 0
+
+    def test_removed_edge_returns(self, stream):
+        w = SlidingWindow(stream, horizon=1.0)
+        w.push(0.0, [RemoveEdge(1, 2)])
+        assert not stream.delta.has_edge(1, 2)
+        w.advance(5.0)
+        assert stream.delta.has_edge(1, 2)
+
+    def test_scalar_reverts_to_baseline(self, stream):
+        w = SlidingWindow(stream, horizon=1.0)
+        w.push(0.0, [SetScalar(2, 9.0)])
+        assert stream.scalars[2] == 9.0
+        w.advance(2.0)
+        assert stream.scalars[2] == 2.0
+
+    def test_retouch_resets_clock(self, stream):
+        w = SlidingWindow(stream, horizon=2.0)
+        w.push(0.0, [SetScalar(3, 5.0)])
+        w.push(1.5, [SetScalar(3, 6.0)])
+        w.advance(2.5)  # first edit lapsed, second still live
+        assert stream.scalars[3] == 6.0
+        w.advance(4.0)  # second lapsed -> original baseline
+        assert stream.scalars[3] == 1.0
+
+    def test_expired_then_retouched_same_push(self, stream):
+        w = SlidingWindow(stream, horizon=1.0)
+        w.push(0.0, [SetScalar(3, 5.0)])
+        # At t=2 the first edit lapses and a new edit arrives together;
+        # the new edit's baseline must be the restored original value.
+        w.push(2.0, [SetScalar(3, 7.0)])
+        assert stream.scalars[3] == 7.0
+        w.advance(4.0)
+        assert stream.scalars[3] == 1.0
+
+    def test_tree_stays_consistent(self, stream):
+        w = SlidingWindow(stream, horizon=2.0)
+        w.push(0.0, [AddEdge(0, 2), SetScalar(3, 3.5)])
+        w.push(1.0, [RemoveEdge(0, 1)])
+        w.advance(2.5)
+        w.advance(3.5)
+        ref = build_vertex_tree(stream.snapshot())
+        assert np.array_equal(stream.tree.parent, ref.parent)
+        assert np.array_equal(stream.tree.scalars, ref.scalars)
+
+
+class TestValidation:
+    def test_horizon_positive(self, stream):
+        with pytest.raises(ValueError):
+            SlidingWindow(stream, horizon=0.0)
+
+    def test_time_must_advance(self, stream):
+        w = SlidingWindow(stream, horizon=1.0)
+        w.push(3.0, [])
+        with pytest.raises(ValueError):
+            w.push(2.0, [])

@@ -98,6 +98,121 @@ class TestLinked2DCommands:
         assert out.read_text().startswith("<svg")
 
 
+class TestStreamCommand:
+    @pytest.fixture
+    def edit_log(self, tmp_path):
+        from repro.stream import AddEdge, RemoveEdge, SetScalar, write_edit_log
+
+        return str(write_edit_log(
+            tmp_path / "edits.jsonl",
+            [
+                [SetScalar(8, 1.0), AddEdge(0, 7)],
+                [RemoveEdge(0, 7)],
+                [SetScalar(8, 2.0)],
+            ],
+            times=[0.0, 1.0, 2.0],
+        ))
+
+    def test_replays_and_emits_frames(self, edge_list_file, edit_log,
+                                      tmp_path, capsys):
+        frames = tmp_path / "frames"
+        code = main([
+            "stream", "--edge-list", edge_list_file, "--log", edit_log,
+            "--frames-dir", str(frames), "--frame-every", "2",
+            "--resolution", "24", "--width", "48", "--height", "36",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replayed 3 batches (4 edits)" in out
+        assert sorted(p.name for p in frames.iterdir()) == [
+            "frame_00000.png", "frame_00002.png",
+        ]
+
+    def test_replays_without_frames(self, edge_list_file, edit_log, capsys):
+        assert main([
+            "stream", "--edge-list", edge_list_file, "--log", edit_log,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "final tree:" in out
+        assert "frames" not in out.splitlines()[-1]
+
+    def test_window_replay(self, edge_list_file, edit_log, capsys):
+        assert main([
+            "stream", "--edge-list", edge_list_file, "--log", edit_log,
+            "--window", "1.5",
+        ]) == 0
+        assert "replayed 3 batches" in capsys.readouterr().out
+
+    def test_window_mixed_timestamps(self, edge_list_file, tmp_path,
+                                     capsys):
+        # Timed commit followed by a trailing untimed batch: the index
+        # fallback must not step backwards past the explicit t=7.5.
+        log = tmp_path / "mixed.jsonl"
+        log.write_text(
+            '{"op": "add", "u": 0, "v": 7}\n'
+            '{"op": "commit", "t": 7.5}\n'
+            '{"op": "set", "v": 8, "value": 1.0}\n'
+        )
+        assert main([
+            "stream", "--edge-list", edge_list_file, "--log", str(log),
+            "--window", "2.0",
+        ]) == 0
+        assert "replayed 2 batches" in capsys.readouterr().out
+
+    def test_edge_measures_rejected(self, edge_list_file, edit_log):
+        with pytest.raises(SystemExit):
+            main([
+                "stream", "--edge-list", edge_list_file, "--log", edit_log,
+                "--measure", "ktruss",
+            ])
+
+    def test_missing_log(self, edge_list_file):
+        with pytest.raises(SystemExit, match="edit log not found"):
+            main([
+                "stream", "--edge-list", edge_list_file,
+                "--log", "does-not-exist.jsonl",
+            ])
+
+    def test_malformed_log(self, edge_list_file, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"op": "explode"}\n')
+        with pytest.raises(SystemExit, match="bad edit log"):
+            main([
+                "stream", "--edge-list", edge_list_file, "--log", str(bad),
+            ])
+
+    def test_out_of_range_edit(self, edge_list_file, tmp_path):
+        oob = tmp_path / "oob.jsonl"
+        oob.write_text('{"op": "set", "v": 999, "value": 1.0}\n')
+        with pytest.raises(SystemExit, match="edit batch 0"):
+            main([
+                "stream", "--edge-list", edge_list_file, "--log", str(oob),
+            ])
+
+    def test_negative_window(self, edge_list_file, edit_log):
+        with pytest.raises(SystemExit, match="--window"):
+            main([
+                "stream", "--edge-list", edge_list_file, "--log", edit_log,
+                "--window", "-1",
+            ])
+
+    def test_frame_every_validated(self, edge_list_file, edit_log, tmp_path):
+        with pytest.raises(SystemExit, match="--frame-every"):
+            main([
+                "stream", "--edge-list", edge_list_file, "--log", edit_log,
+                "--frames-dir", str(tmp_path / "f"), "--frame-every", "0",
+            ])
+
+    def test_bins_simplify_frames(self, edge_list_file, edit_log, tmp_path):
+        frames = tmp_path / "frames"
+        assert main([
+            "stream", "--edge-list", edge_list_file, "--log", edit_log,
+            "--frames-dir", str(frames), "--bins", "2",
+            "--resolution", "24", "--width", "48", "--height", "36",
+        ]) == 0
+        assert (frames / "frame_00000.png").exists()
+
+
 class TestCorrelateCommand:
     def test_gci_printed(self, edge_list_file, capsys):
         code = main([
