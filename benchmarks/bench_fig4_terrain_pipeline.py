@@ -1,21 +1,26 @@
-"""Fig 4: the worked terrain pipeline on a toy scalar tree.
+"""Fig 4: the worked terrain pipeline, run through ``repro.engine``.
 
 Tree → 2D nested-boundary layout → 3D terrain, then the peak₅/peak₃
 story: the peak at height 5 corresponds to the maximal 5-connected
 component and nests inside the peak at height 3 exactly as the
 maximal 5-component nests inside the maximal 3-component.
+
+A second test measures the engine's artifact cache on this exact
+pipeline: a repeated terrain build (same dataset, measure, bins) must be
+≥5× faster than the cold build, because the field, tree, display and
+layout stages all come back as content-hash cache hits.
 """
+
+import os
+import time
 
 import numpy as np
 
-from repro.core import (
-    ScalarGraph,
-    build_super_tree,
-    build_vertex_tree,
-    maximal_alpha_components,
-)
+from repro.core import ScalarGraph, maximal_alpha_components
+from repro.engine import ArtifactCache, Pipeline
 from repro.graph import from_edges
-from repro.terrain import layout_tree, peaks_at, rasterize, render_terrain
+from repro.graph import datasets
+from repro.terrain import peaks_at
 
 from conftest import OUT_DIR
 
@@ -28,25 +33,23 @@ def _toy_scene():
         (5, 6), (6, 7), (7, 8),        # second, lower mountain
     ]
     scalars = [2.0, 3.0, 4.0, 5.0, 3.0, 1.0, 2.0, 3.0, 2.5]
-    sg = ScalarGraph(from_edges(edges), scalars)
-    tree = build_super_tree(build_vertex_tree(sg))
-    return sg, tree
+    return ScalarGraph(from_edges(edges), scalars)
 
 
 def test_fig4_pipeline(benchmark, report):
-    sg, tree = _toy_scene()
+    sg = _toy_scene()
+    cache = ArtifactCache()
 
     def pipeline():
-        layout = layout_tree(tree)
-        hf = rasterize(layout, resolution=96)
-        render_terrain(
-            tree, layout=layout, heightfield=hf,
-            width=400, height=300,
+        p = Pipeline(sg, cache=cache)
+        p.render(
             path=OUT_DIR / "fig4_toy_terrain.png",
+            resolution=96, width=400, height=300,
         )
-        return layout
+        return p
 
-    layout = benchmark(pipeline)
+    pipe = benchmark(pipeline)
+    tree, layout = pipe.display_tree, pipe.layout()
 
     lines = ["alpha  peaks  (peak size = component size)"]
     for alpha in (5.0, 3.0):
@@ -66,3 +69,35 @@ def test_fig4_pipeline(benchmark, report):
         )
     lines.append("every peak_5 nests inside a peak_3: OK")
     report("fig4_pipeline", "\n".join(lines))
+
+
+def test_fig4_cache_speedup(report):
+    """A warmed cache must make a repeated terrain build ≥5× faster."""
+    datasets.load("grqc")  # generation cost is the source stage, not ours
+    cache = ArtifactCache()
+
+    def build() -> float:
+        t0 = time.perf_counter()
+        Pipeline.from_dataset("grqc", "kcore", cache=cache).build()
+        return time.perf_counter() - t0
+
+    t_cold = build()
+    t_warm = min(build() for _ in range(3))
+    speedup = t_cold / t_warm
+
+    report(
+        "fig4_cache_speedup",
+        f"terrain build on grqc/kcore (field+tree+super+layout stages):\n"
+        f"  cold: {1000 * t_cold:8.2f} ms\n"
+        f"  warm: {1000 * t_warm:8.2f} ms   ({speedup:.0f}x, "
+        f"{cache.stats['hits']} stage hits / "
+        f"{cache.stats['misses']} misses)",
+    )
+    # Functional contract always holds; the wall-clock assertion is
+    # skipped in CI-smoke mode (shared runners time too noisily).
+    assert cache.stats["misses"] == 4  # field, tree, display, layout
+    if os.environ.get("REPRO_BENCH_TINY", "") in ("", "0"):
+        assert speedup >= 5.0, (
+            f"warmed cache only {speedup:.1f}x faster than cold build "
+            f"(need >=5x)"
+        )

@@ -23,6 +23,7 @@ threshold falls back to full rebuilds.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import List, Set, Tuple
 
@@ -32,15 +33,25 @@ from repro.core import ScalarGraph, build_vertex_tree
 from repro.graph import generators
 from repro.stream import AddEdge, RemoveEdge, SetScalar, StreamingScalarTree
 
-_N = 6000
+# REPRO_BENCH_TINY=1 shrinks the workload to CI-smoke size: the
+# correctness cross-checks (incremental == fresh static build) still
+# run on every batch size, but the timing assertions are skipped —
+# tiny graphs neither amortize the incremental machinery nor time
+# stably on shared runners.
+_TINY = os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0")
+_N = 600 if _TINY else 6000
 _SEED = 17
 # (fraction of edges per batch, number of batches)
-_CURVE = [(0.001, 30), (0.005, 15), (0.01, 10), (0.05, 5)]
+_CURVE = (
+    [(0.01, 4), (0.05, 3)] if _TINY
+    else [(0.001, 30), (0.005, 15), (0.01, 10), (0.05, 5)]
+)
 
 
 def _make_field() -> ScalarGraph:
     graph = generators.powerlaw_cluster(_N, 2, 0.4, seed=_SEED)
-    assert graph.n_edges >= 10_000, "benchmark graph must have >=10k edges"
+    assert _TINY or graph.n_edges >= 10_000, \
+        "benchmark graph must have >=10k edges"
     rng = np.random.default_rng(_SEED)
     scalars = rng.uniform(0.0, 1.0, graph.n_vertices)
     return ScalarGraph(graph, scalars)
@@ -148,7 +159,7 @@ def test_stream_incremental_speedup(report):
     report("stream_incremental_speedup", "\n".join(lines))
 
     for frac, speedup in speedups.items():
-        if frac <= 0.01:
+        if frac <= 0.01 and not _TINY:
             assert speedup >= 5.0, (
                 f"incremental maintenance only {speedup:.1f}x faster than "
                 f"full rebuild at batch fraction {frac:.1%} (need >=5x)"
@@ -175,4 +186,5 @@ def test_stream_threshold_bounds_worst_case(report):
         f"({stream.stats['full_rebuilds']} fallback rebuilds, "
         f"{stream.stats['incremental']} incremental)",
     )
-    assert ratio < 3.0, "threshold fallback should bound the worst case"
+    if not _TINY:
+        assert ratio < 3.0, "threshold fallback should bound the worst case"

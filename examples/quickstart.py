@@ -1,66 +1,57 @@
 """Quickstart: from a graph with vertex measures to a terrain picture.
 
-Loads the GrQc collaboration stand-in, uses the k-core number KC(v) as
-the scalar field, builds the (super) scalar tree, and renders:
+Uses the unified pipeline layer (``repro.engine``): one
+:class:`~repro.engine.pipeline.Pipeline` wires
+source → field → tree → super tree → layout → sink, with every
+expensive stage cached by a content hash of its inputs — so the second
+render (rotated camera) and the peak query reuse the layout, and
+re-running this script against a persistent ``ArtifactCache`` directory
+skips the measure and tree stages entirely.
 
-* a 3D terrain PNG (peaks = dense K-cores),
-* the same terrain from a rotated, zoomed-in viewpoint,
-* the linked 2D treemap,
-* a peak report: the densest K-cores and their sizes.
+(The direct calls — ``core_numbers`` + ``build_vertex_tree`` +
+``build_super_tree`` + ``render_terrain`` — remain fully supported; the
+pipeline is the same functions with caching and wiring factored out.)
 
 Run:  python examples/quickstart.py
 """
 
 from pathlib import Path
 
-from repro import (
-    Camera,
-    ScalarGraph,
-    build_super_tree,
-    build_vertex_tree,
-    highest_peaks,
-    layout_tree,
-    rasterize,
-    render_terrain,
-    treemap_svg,
-)
-from repro.graph import datasets
-from repro.measures import core_numbers
+from repro import Camera
+from repro.engine import ArtifactCache, Pipeline
 
 OUT = Path(__file__).parent / "out"
 
 
 def main() -> None:
-    # 1. A graph whose vertices carry a numeric measure = a scalar graph.
-    dataset = datasets.load("grqc")
-    graph = dataset.graph
-    field = ScalarGraph(graph, core_numbers(graph).astype(float))
-    print(f"loaded {dataset.name}: {graph.n_vertices} vertices, "
+    # 1. One pipeline: dataset -> KC(v) field -> (super) scalar tree.
+    #    The cache directory persists fields and trees across runs.
+    pipeline = Pipeline.from_dataset(
+        "grqc", "kcore", cache=ArtifactCache(OUT / "cache")
+    )
+    graph = pipeline.graph
+    print(f"loaded grqc: {graph.n_vertices} vertices, "
           f"{graph.n_edges} edges")
+    print(f"super scalar tree: {pipeline.display_tree.n_nodes} nodes")
 
-    # 2. The scalar tree summarises every maximal α-connected component.
-    tree = build_super_tree(build_vertex_tree(field))
-    print(f"super scalar tree: {tree.n_nodes} nodes")
-
-    # 3. Terrain: peaks are dense K-cores (Proposition 4).
-    layout = layout_tree(tree)
-    heightfield = rasterize(layout, resolution=160)
-    render_terrain(
-        tree, layout=layout, heightfield=heightfield,
-        path=OUT / "quickstart_terrain.png",
-    )
-    render_terrain(
-        tree, layout=layout, heightfield=heightfield,
-        camera=Camera().rotated(d_azimuth=120).zoomed(0.7),
+    # 2. Terrain: peaks are dense K-cores (Proposition 4).  Both renders
+    #    and the treemap share the pipeline's cached layout stage.
+    pipeline.render(path=OUT / "quickstart_terrain.png")
+    pipeline.render(
         path=OUT / "quickstart_terrain_rotated.png",
+        camera=Camera().rotated(d_azimuth=120).zoomed(0.7),
     )
-    treemap_svg(tree, layout=layout, path=OUT / "quickstart_treemap.svg")
+    pipeline.treemap(path=OUT / "quickstart_treemap.svg")
 
-    # 4. Query the peaks: the densest disconnected K-cores.
+    # 3. Query the peaks: the densest disconnected K-cores.
     print("\ndensest disconnected K-cores:")
-    for i, peak in enumerate(highest_peaks(tree, count=3, layout=layout)):
+    for i, peak in enumerate(pipeline.peaks(count=3)):
         print(f"  #{i + 1}: K = {peak.alpha:.0f}, {peak.size} members")
-    print(f"\nartifacts written to {OUT}/")
+
+    stats = pipeline.cache.stats
+    print(f"\ncache: {stats['hits']} hits, {stats['misses']} misses "
+          f"(rerun this script for a warm start)")
+    print(f"artifacts written to {OUT}/")
 
 
 if __name__ == "__main__":

@@ -44,6 +44,13 @@ Subpackages
     rollback + dirty-suffix replay, ≥5× faster than full rebuilds on
     small-batch streams), and sliding-window expiry for temporal
     networks.  Replayed from the CLI via ``repro stream``.
+``repro.engine``
+    The unified pipeline layer every driver runs through: a measure
+    registry (named scalar fields with kind/cost metadata and lazy
+    imports), a content-hash-keyed artifact cache, and the staged
+    :class:`~repro.engine.pipeline.Pipeline` /
+    :class:`~repro.engine.pipeline.StreamingPipeline`
+    (source → field → tree → super/simplified tree → layout → sink).
 """
 
 from .core import (
@@ -72,8 +79,9 @@ from .terrain import (
     render_terrain,
     treemap_svg,
 )
+from .engine import ArtifactCache, Pipeline, StreamingPipeline
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ScalarGraph",
@@ -98,5 +106,8 @@ __all__ = [
     "treemap_svg",
     "peaks_at",
     "highest_peaks",
+    "Pipeline",
+    "StreamingPipeline",
+    "ArtifactCache",
     "__version__",
 ]

@@ -1,6 +1,8 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Six commands cover the common workflows without writing any Python:
+Six commands cover the common workflows without writing any Python, and
+all of them are thin wrappers over one :class:`repro.engine.Pipeline`
+(static) or :class:`repro.engine.StreamingPipeline` (incremental):
 
 * ``terrain`` — render the terrain of a registered dataset (or an edge
   list file) under a chosen measure;
@@ -10,6 +12,12 @@ Six commands cover the common workflows without writing any Python:
 * ``correlate`` — LCI/GCI of two vertex measures;
 * ``stream``  — replay a JSONL edit log through the incremental
   maintainer and emit terrain frames.
+
+Measures are resolved through :mod:`repro.engine.registry` (so
+``--measure`` is validated at parse time against the registry's known
+names), and expensive stage artifacts are reused through the engine's
+cache — pass ``--cache-dir`` (or set ``$REPRO_CACHE_DIR``) to persist
+them across runs.
 
 Examples::
 
@@ -29,151 +37,130 @@ from typing import Optional
 
 import numpy as np
 
-from .core import (
-    EdgeScalarGraph,
-    ScalarGraph,
-    build_edge_tree,
-    build_super_tree,
-    build_vertex_tree,
-    global_correlation_index,
-    outlier_score,
-    simplify_tree,
+from .core import global_correlation_index, outlier_score
+from .engine import (
+    ArtifactCache,
+    DatasetSource,
+    EdgeListSource,
+    Pipeline,
+    StreamingPipeline,
+    registry,
 )
-from .graph import datasets
-from .graph.csr import CSRGraph
-from .graph.io import read_edge_list
-from .measures import (
-    betweenness_centrality,
-    closeness_centrality,
-    core_numbers,
-    degree_centrality,
-    eigenvector_centrality,
-    harmonic_centrality,
-    pagerank,
-    truss_numbers,
-)
-from .stream import SlidingWindow, StreamingScalarTree, read_edit_log
-from .terrain import (
-    Camera,
-    highest_peaks,
-    layout_tree,
-    render_terrain,
-    treemap_svg,
-)
-from .terrain.profile import profile_svg
+from .stream import read_edit_log
+from .terrain import Camera
 
 __all__ = ["main"]
 
-_VERTEX_MEASURES = {
-    "kcore": lambda g: core_numbers(g).astype(float),
-    "degree": lambda g: degree_centrality(g, normalized=False),
-    "pagerank": pagerank,
-    "closeness": closeness_centrality,
-    "harmonic": harmonic_centrality,
-    "eigenvector": eigenvector_centrality,
-    "betweenness": lambda g: betweenness_centrality(
-        g, samples=min(256, g.n_vertices), seed=0
-    ),
-}
-_EDGE_MEASURES = {
-    "ktruss": lambda g: truss_numbers(g).astype(float),
-}
+
+def _measure_arg(value: str) -> str:
+    """argparse type: any registered measure (choices-style error)."""
+    known = registry.measure_names()
+    if value not in known:
+        raise argparse.ArgumentTypeError(
+            f"invalid choice: {value!r} (choose from {', '.join(known)})"
+        )
+    return value
 
 
-def _load_graph(args) -> CSRGraph:
+def _vertex_measure_arg(value: str) -> str:
+    """argparse type: a registered *vertex* measure."""
+    known = registry.measure_names(kind="vertex")
+    if value not in known:
+        raise argparse.ArgumentTypeError(
+            f"invalid choice: {value!r} (vertex measures only; choose "
+            f"from {', '.join(known)})"
+        )
+    return value
+
+
+def _source(args):
     if args.dataset:
-        return datasets.load(args.dataset).graph
+        return DatasetSource(args.dataset)
     if args.edge_list:
-        return read_edge_list(args.edge_list)
+        return EdgeListSource(args.edge_list)
     raise SystemExit("provide --dataset or --edge-list")
 
 
-def _build_tree(graph: CSRGraph, measure: str, bins: Optional[int]):
-    if measure in _VERTEX_MEASURES:
-        field = ScalarGraph(graph, _VERTEX_MEASURES[measure](graph))
-        raw = build_vertex_tree(field)
-    elif measure in _EDGE_MEASURES:
-        field = EdgeScalarGraph(graph, _EDGE_MEASURES[measure](graph))
-        raw = build_edge_tree(field)
-    else:
-        known = sorted(_VERTEX_MEASURES) + sorted(_EDGE_MEASURES)
-        raise SystemExit(f"unknown measure {measure!r}; pick from {known}")
-    if bins:
-        return simplify_tree(raw, bins, scheme="quantile")
-    return build_super_tree(raw)
+def _cache(args) -> ArtifactCache:
+    if args.cache_dir:
+        return ArtifactCache(args.cache_dir)
+    return ArtifactCache.from_env()
 
 
-def _add_common(parser: argparse.ArgumentParser) -> None:
+def _pipeline(args) -> Pipeline:
+    return Pipeline(
+        _source(args), args.measure, bins=args.bins, cache=_cache(args)
+    )
+
+
+def _add_common(
+    parser: argparse.ArgumentParser, measure_type=_measure_arg
+) -> None:
+    kind = "vertex" if measure_type is _vertex_measure_arg else None
     parser.add_argument("--dataset", help="registered dataset name")
     parser.add_argument("--edge-list", help="path to a SNAP-style edge list")
     parser.add_argument(
-        "--measure", default="kcore",
-        help="scalar measure (kcore, ktruss, degree, betweenness, "
-             "pagerank, closeness, harmonic, eigenvector)",
+        "--measure", default="kcore", type=measure_type,
+        help="scalar measure; one of: "
+             + ", ".join(registry.measure_names(kind=kind)),
     )
     parser.add_argument(
         "--bins", type=int, default=None,
         help="simplify the tree to ~N scalar levels before drawing",
     )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="persist pipeline artifacts here (default: $REPRO_CACHE_DIR "
+             "if set, else in-memory only)",
+    )
 
 
 def _cmd_terrain(args) -> int:
-    graph = _load_graph(args)
-    tree = _build_tree(graph, args.measure, args.bins)
+    pipeline = _pipeline(args)
     camera = Camera(
         azimuth=args.azimuth, elevation=args.elevation,
     ).zoomed(args.zoom)
-    render_terrain(
-        tree, camera=camera,
+    pipeline.render(
+        path=args.output,
+        camera=camera,
         resolution=args.resolution,
         width=args.width, height=args.height,
-        path=args.output,
     )
     print(f"terrain of {args.measure} -> {args.output} "
-          f"({tree.n_nodes} super nodes)")
+          f"({pipeline.display_tree.n_nodes} super nodes)")
     return 0
 
 
 def _cmd_peaks(args) -> int:
-    graph = _load_graph(args)
-    tree = _build_tree(graph, args.measure, args.bins)
-    layout = layout_tree(tree)
-    unit = "edges" if tree.kind == "edge" else "vertices"
-    for i, peak in enumerate(
-        highest_peaks(tree, count=args.count, layout=layout)
-    ):
+    pipeline = _pipeline(args)
+    unit = "edges" if pipeline.display_tree.kind == "edge" else "vertices"
+    for i, peak in enumerate(pipeline.peaks(count=args.count)):
         print(f"#{i + 1}: level {peak.alpha:g}, {peak.size} {unit}, "
               f"summit {peak.summit:g}")
     return 0
 
 
 def _cmd_treemap(args) -> int:
-    graph = _load_graph(args)
-    tree = _build_tree(graph, args.measure, args.bins)
-    treemap_svg(tree, size=args.width, path=args.output)
+    pipeline = _pipeline(args)
+    pipeline.treemap(path=args.output, size=args.width)
     print(f"treemap of {args.measure} -> {args.output}")
     return 0
 
 
 def _cmd_profile(args) -> int:
-    graph = _load_graph(args)
-    tree = _build_tree(graph, args.measure, args.bins)
-    profile_svg(tree, width=args.width, height=args.height,
-                path=args.output)
+    pipeline = _pipeline(args)
+    pipeline.profile(path=args.output, width=args.width, height=args.height)
     print(f"profile of {args.measure} -> {args.output}")
     return 0
 
 
 def _cmd_correlate(args) -> int:
-    graph = _load_graph(args)
-    fields = []
-    for name in (args.field_i, args.field_j):
-        if name not in _VERTEX_MEASURES:
-            raise SystemExit(f"unknown vertex measure {name!r}")
-        fields.append(_VERTEX_MEASURES[name](graph))
-    gci = global_correlation_index(graph, fields[0], fields[1])
+    pipeline = Pipeline(_source(args), args.field_i, cache=_cache(args))
+    field_i = pipeline.measure_field(args.field_i)
+    field_j = pipeline.measure_field(args.field_j)
+    gci = global_correlation_index(pipeline.graph, field_i, field_j)
     print(f"GCI({args.field_i}, {args.field_j}) = {gci:.4f}")
-    scores = outlier_score(graph, fields[0], fields[1])
+    scores = outlier_score(pipeline.graph, field_i, field_j)
     top = np.argsort(-scores)[: args.count]
     print("top outlier vertices (most locally anti-correlated):")
     for v in top:
@@ -183,12 +170,8 @@ def _cmd_correlate(args) -> int:
 
 def _cmd_stream(args) -> int:
     # Cheap flag/log validation first — measure + tree construction on
-    # a large dataset can take minutes.
-    if args.measure not in _VERTEX_MEASURES:
-        raise SystemExit(
-            f"stream supports vertex measures only; "
-            f"pick from {sorted(_VERTEX_MEASURES)}"
-        )
+    # a large dataset can take minutes.  (--measure itself is already
+    # validated at parse time against the registry's vertex measures.)
     if args.window is not None and args.window <= 0:
         raise SystemExit("--window must be a positive horizon")
     if args.frame_every < 1:
@@ -200,13 +183,12 @@ def _cmd_stream(args) -> int:
     except ValueError as exc:
         raise SystemExit(f"bad edit log {args.log}: {exc}")
 
-    graph = _load_graph(args)
-    field = ScalarGraph(graph, _VERTEX_MEASURES[args.measure](graph))
-    stream = StreamingScalarTree(
-        field, rebuild_threshold=args.rebuild_threshold
-    )
-    window = (
-        SlidingWindow(stream, args.window) if args.window else None
+    pipeline = StreamingPipeline(
+        _source(args), args.measure,
+        bins=args.bins,
+        rebuild_threshold=args.rebuild_threshold,
+        window=args.window,
+        cache=_cache(args),
     )
 
     frames_dir: Optional[Path] = None
@@ -220,33 +202,26 @@ def _cmd_stream(args) -> int:
     for i, (when, batch) in enumerate(batches):
         n_edits += len(batch)
         try:
-            if window is not None:
+            if pipeline.window is not None:
                 # Untimed commits fall back to the batch index, clamped
                 # so a mix with earlier explicit timestamps never goes
                 # backwards; explicit decreasing stamps still error.
                 t = max(last_t, float(i)) if when is None else when
-                window.push(t, batch)
+                pipeline.push(t, batch)
                 last_t = t
             else:
-                stream.apply(batch)
+                pipeline.apply(batch)
         except (IndexError, ValueError) as exc:
             raise SystemExit(f"edit batch {i} of {args.log}: {exc}")
         if frames_dir is not None and i % args.frame_every == 0:
-            if args.bins:
-                frame_tree = simplify_tree(
-                    stream.tree, args.bins, scheme="quantile"
-                )
-            else:
-                frame_tree = stream.super_tree()
-            render_terrain(
-                frame_tree,
+            pipeline.render(
+                path=frames_dir / f"frame_{i:05d}.png",
                 resolution=args.resolution,
                 width=args.width, height=args.height,
-                path=frames_dir / f"frame_{i:05d}.png",
             )
             n_frames += 1
 
-    stats = stream.stats
+    stats = pipeline.stats
     print(
         f"replayed {stats['batches']} batches ({n_edits} edits) of "
         f"{args.log}: {stats['incremental']} incremental, "
@@ -256,8 +231,8 @@ def _cmd_stream(args) -> int:
     if frames_dir is not None:
         print(f"{n_frames} terrain frames -> {frames_dir}")
     print(
-        f"final tree: {stream.super_tree().n_nodes} super nodes over "
-        f"{stream.delta.n_edges} edges"
+        f"final tree: {pipeline.stream.super_tree().n_nodes} super nodes "
+        f"over {pipeline.stream.delta.n_edges} edges"
     )
     return 0
 
@@ -303,8 +278,8 @@ def build_parser() -> argparse.ArgumentParser:
         "correlate", help="GCI and outliers of two vertex measures"
     )
     _add_common(correlate)
-    correlate.add_argument("field_i")
-    correlate.add_argument("field_j")
+    correlate.add_argument("field_i", type=_vertex_measure_arg)
+    correlate.add_argument("field_j", type=_vertex_measure_arg)
     correlate.add_argument("--count", type=int, default=5)
     correlate.set_defaults(func=_cmd_correlate)
 
@@ -312,7 +287,7 @@ def build_parser() -> argparse.ArgumentParser:
         "stream",
         help="replay a JSONL edit log incrementally, emit terrain frames",
     )
-    _add_common(stream)
+    _add_common(stream, measure_type=_vertex_measure_arg)
     stream.add_argument(
         "--log", required=True, help="JSONL edit log (see repro.stream.editlog)"
     )

@@ -24,10 +24,15 @@ __all__ = [
     "super_tree_from_json",
     "save_tree",
     "load_tree",
+    "array_to_json",
+    "array_from_json",
+    "artifact_to_json",
+    "artifact_from_json",
 ]
 
 PathLike = Union[str, Path]
 _FORMAT = "repro-scalar-tree/1"
+_ARRAY_FORMAT = "repro-artifact/1"
 
 
 def scalar_tree_to_json(tree: ScalarTree) -> str:
@@ -101,6 +106,65 @@ def load_tree(path: PathLike):
     if doc.get("type") == "super_tree":
         return super_tree_from_json(text)
     return scalar_tree_from_json(text)
+
+
+def array_to_json(arr: np.ndarray) -> str:
+    """Serialize a numeric numpy array (any shape) to a JSON string.
+
+    Together with the tree documents this is the cache storage format of
+    :mod:`repro.engine.cache`: every persistable pipeline artifact is a
+    tree or a numeric array.
+    """
+    arr = np.asarray(arr)
+    if arr.dtype.kind not in "fiub":
+        raise TypeError(f"cannot serialize array of dtype {arr.dtype}")
+    return json.dumps(
+        {
+            "format": _ARRAY_FORMAT,
+            "type": "array",
+            "dtype": arr.dtype.name,
+            "shape": list(arr.shape),
+            "data": arr.ravel().tolist(),
+        }
+    )
+
+
+def array_from_json(text: str) -> np.ndarray:
+    """Inverse of :func:`array_to_json`."""
+    doc = json.loads(text)
+    if doc.get("format") != _ARRAY_FORMAT or doc.get("type") != "array":
+        raise ValueError(f"not a {_ARRAY_FORMAT} array document")
+    return np.array(doc["data"], dtype=np.dtype(doc["dtype"])).reshape(
+        doc["shape"]
+    )
+
+
+def artifact_to_json(obj) -> str:
+    """Serialize any cacheable pipeline artifact (tree or array).
+
+    Raises ``TypeError`` for objects with no stable on-disk form (e.g.
+    terrain layouts), which the cache keeps in memory only.
+    """
+    if isinstance(obj, SuperTree):
+        return super_tree_to_json(obj)
+    if isinstance(obj, ScalarTree):
+        return scalar_tree_to_json(obj)
+    if isinstance(obj, np.ndarray):
+        return array_to_json(obj)
+    raise TypeError(f"no serialized form for {type(obj).__name__}")
+
+
+def artifact_from_json(text: str):
+    """Inverse of :func:`artifact_to_json` (dispatch on document type)."""
+    doc = json.loads(text)
+    kind = doc.get("type")
+    if kind == "super_tree":
+        return super_tree_from_json(text)
+    if kind == "scalar_tree":
+        return scalar_tree_from_json(text)
+    if kind == "array":
+        return array_from_json(text)
+    raise ValueError(f"unknown artifact document type {kind!r}")
 
 
 def _check(doc: dict, expected: str) -> None:

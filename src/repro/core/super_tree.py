@@ -18,7 +18,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from .scalar_tree import ScalarTree
+from .scalar_tree import ScalarTree, _children_table
 
 __all__ = ["SuperTree", "build_super_tree", "splice_super_tree"]
 
@@ -96,11 +96,7 @@ class SuperTree:
     def children(self, node: Optional[int] = None):
         """Children of ``node``, or the whole table when ``node`` is None."""
         if self._children is None:
-            table: List[List[int]] = [[] for _ in range(self.n_nodes)]
-            for i, p in enumerate(self.parent):
-                if p >= 0:
-                    table[int(p)].append(i)
-            self._children = table
+            self._children = _children_table(self.parent, self.n_nodes)
         if node is None:
             return self._children
         return self._children[node]

@@ -1,0 +1,172 @@
+"""Content-addressed artifact cache for pipeline stages.
+
+Every expensive pipeline stage (measure evaluation, tree construction,
+super-tree/simplification, layout) is keyed by a SHA-256 content hash of
+its *inputs* — the underlying graph's CSR arrays, the scalar field, and
+the stage parameters — so a key can only ever map to one value: there is
+no invalidation logic, a changed input simply hashes to a different key.
+
+Two tiers:
+
+* **memory** — every artifact, including ones with no on-disk form
+  (terrain layouts);
+* **disk** (optional) — artifacts with a stable serialized form (trees
+  and numeric arrays, via :mod:`repro.core.serialize`'s artifact
+  envelope) are written to ``<directory>/<key>.json`` so a second
+  process skips straight to render.
+
+``stats`` counts hits/misses for tests and benchmark reporting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..core.serialize import artifact_from_json, artifact_to_json
+from ..graph.csr import CSRGraph
+
+__all__ = [
+    "ArtifactCache",
+    "fingerprint_array",
+    "fingerprint_graph",
+    "stage_key",
+]
+
+PathLike = Union[str, Path]
+
+
+def _sha256(*parts: bytes) -> str:
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part)
+    return digest.hexdigest()
+
+
+def fingerprint_array(arr: np.ndarray) -> str:
+    """Content hash of a numpy array (dtype, shape and bytes)."""
+    arr = np.ascontiguousarray(arr)
+    header = f"{arr.dtype.str}|{arr.shape}".encode()
+    return _sha256(header, arr.tobytes())
+
+
+def fingerprint_graph(graph: CSRGraph) -> str:
+    """Content hash of a CSR graph's structure."""
+    return _sha256(
+        b"csr",
+        np.ascontiguousarray(graph.indptr).tobytes(),
+        np.ascontiguousarray(graph.indices).tobytes(),
+    )
+
+
+def stage_key(stage: str, params: Dict[str, object], *fingerprints: str) -> str:
+    """Cache key of one stage execution: stage name + JSON-able
+    parameters + the content fingerprints of its inputs."""
+    payload = json.dumps(
+        {"stage": stage, "params": params, "inputs": list(fingerprints)},
+        sort_keys=True,
+    )
+    return _sha256(payload.encode())
+
+
+class ArtifactCache:
+    """In-memory (always) + on-disk (optional) store of stage artifacts.
+
+    Parameters
+    ----------
+    directory:
+        Where to persist serializable artifacts.  ``None`` keeps the
+        cache memory-only (still useful: repeated builds in one process
+        share artifacts).
+    """
+
+    def __init__(self, directory: Optional[PathLike] = None) -> None:
+        self.directory = Path(directory) if directory else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._memory: Dict[str, object] = {}
+        self.stats: Dict[str, int] = {
+            "hits": 0,
+            "misses": 0,
+            "memory_hits": 0,
+            "disk_hits": 0,
+            "puts": 0,
+        }
+
+    @classmethod
+    def from_env(cls) -> "ArtifactCache":
+        """Cache honouring ``$REPRO_CACHE_DIR`` (memory-only if unset)."""
+        return cls(os.environ.get("REPRO_CACHE_DIR") or None)
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str):
+        """The cached artifact for ``key``, or ``None`` on a miss."""
+        if key in self._memory:
+            self.stats["hits"] += 1
+            self.stats["memory_hits"] += 1
+            return self._memory[key]
+        if self.directory is not None:
+            path = self._path(key)
+            try:
+                value = artifact_from_json(path.read_text())
+            except FileNotFoundError:
+                pass
+            except ValueError:
+                # Truncated/corrupt entry (e.g. a writer killed
+                # mid-write by an older version): treat as a miss and
+                # drop it so it cannot poison future runs.
+                path.unlink(missing_ok=True)
+            else:
+                self._memory[key] = value
+                self.stats["hits"] += 1
+                self.stats["disk_hits"] += 1
+                return value
+        self.stats["misses"] += 1
+        return None
+
+    def put(self, key: str, value, disk: bool = True):
+        """Store ``value`` under ``key``; returns ``value``.
+
+        Persists to disk only when a directory is configured, ``disk``
+        is true (stages pass ``False`` for cheap-to-recompute or
+        unserializable artifacts), and the value has a serialized form.
+        """
+        self._memory[key] = value
+        self.stats["puts"] += 1
+        if self.directory is not None and disk:
+            try:
+                text = artifact_to_json(value)
+            except TypeError:
+                return value
+            # Write-then-rename so concurrent readers (the cache is
+            # meant to be shared across processes) never observe a
+            # partially written entry.
+            tmp = self._path(key).with_suffix(f".tmp{os.getpid()}")
+            tmp.write_text(text)
+            os.replace(tmp, self._path(key))
+        return value
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop the memory tier (and the disk tier when ``disk=True``)."""
+        self._memory.clear()
+        if disk and self.directory is not None:
+            for path in self.directory.glob("*.json"):
+                path.unlink()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __repr__(self) -> str:
+        where = str(self.directory) if self.directory else "memory-only"
+        return (
+            f"ArtifactCache({where}, entries={len(self._memory)}, "
+            f"hits={self.stats['hits']}, misses={self.stats['misses']})"
+        )

@@ -13,6 +13,7 @@ from typing import Optional
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..engine.registry import vertex_measure
 
 __all__ = [
     "degree_centrality",
@@ -200,3 +201,58 @@ def betweenness_centrality(
     if normalized:
         bc /= (n - 1) * (n - 2) / 2.0
     return bc
+
+
+# ----------------------------------------------------------------------
+# Registry adapters (repro.engine).  Parameter choices match what the
+# CLI always used: raw degrees, and sampled-pivot betweenness with a
+# fixed seed so repeated builds are cache-identical.
+# ----------------------------------------------------------------------
+@vertex_measure(
+    "degree", cost="cheap", replace=True,
+    description="degree (unnormalized)",
+)
+def _degree_field(graph: CSRGraph) -> np.ndarray:
+    return degree_centrality(graph, normalized=False)
+
+
+@vertex_measure(
+    "pagerank", cost="moderate", replace=True,
+    description="PageRank (d=0.85)",
+)
+def _pagerank_field(graph: CSRGraph) -> np.ndarray:
+    return pagerank(graph)
+
+
+@vertex_measure(
+    "closeness", cost="expensive", replace=True,
+    description="closeness centrality (all-pairs BFS)",
+)
+def _closeness_field(graph: CSRGraph) -> np.ndarray:
+    return closeness_centrality(graph)
+
+
+@vertex_measure(
+    "harmonic", cost="expensive", replace=True,
+    description="harmonic centrality (all-pairs BFS)",
+)
+def _harmonic_field(graph: CSRGraph) -> np.ndarray:
+    return harmonic_centrality(graph)
+
+
+@vertex_measure(
+    "eigenvector", cost="moderate", replace=True,
+    description="eigenvector centrality (power iteration)",
+)
+def _eigenvector_field(graph: CSRGraph) -> np.ndarray:
+    return eigenvector_centrality(graph)
+
+
+@vertex_measure(
+    "betweenness", cost="expensive", replace=True,
+    description="betweenness centrality (sampled pivots, seed 0)",
+)
+def _betweenness_field(graph: CSRGraph) -> np.ndarray:
+    return betweenness_centrality(
+        graph, samples=min(256, graph.n_vertices), seed=0
+    )

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..engine.registry import vertex_measure
 
 __all__ = ["core_numbers", "k_core_subgraph", "degeneracy"]
 
@@ -78,3 +79,14 @@ def degeneracy(graph: CSRGraph) -> int:
     if graph.n_vertices == 0:
         return 0
     return int(core_numbers(graph).max())
+
+
+# ----------------------------------------------------------------------
+# Registry adapter (repro.engine): KC(v) as a float scalar field.
+# ----------------------------------------------------------------------
+@vertex_measure(
+    "kcore", cost="moderate", replace=True,
+    description="K-core number KC(v) (peeling, Table II's field)",
+)
+def _kcore_field(graph: CSRGraph) -> np.ndarray:
+    return core_numbers(graph).astype(np.float64)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..engine.registry import edge_measure
 from .triangles import edge_supports
 
 __all__ = ["truss_numbers", "k_truss_edges", "max_truss"]
@@ -83,3 +84,14 @@ def max_truss(graph: CSRGraph) -> int:
     if graph.n_edges == 0:
         return 0
     return int(truss_numbers(graph).max())
+
+
+# ----------------------------------------------------------------------
+# Registry adapter (repro.engine): KT(e) as a float edge scalar field.
+# ----------------------------------------------------------------------
+@edge_measure(
+    "ktruss", cost="expensive", replace=True,
+    description="K-truss number KT(e) (support peeling, Algorithm 3 input)",
+)
+def _ktruss_field(graph: CSRGraph) -> np.ndarray:
+    return truss_numbers(graph).astype(np.float64)

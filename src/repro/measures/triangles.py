@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..engine.registry import edge_measure, vertex_measure
 
 __all__ = [
     "edge_supports",
@@ -70,3 +71,22 @@ def average_clustering(graph: CSRGraph) -> float:
     if graph.n_vertices == 0:
         return 0.0
     return float(clustering_coefficients(graph).mean())
+
+
+# ----------------------------------------------------------------------
+# Registry adapters (repro.engine).
+# ----------------------------------------------------------------------
+@vertex_measure(
+    "clustering", cost="moderate", replace=True,
+    description="local clustering coefficient per vertex",
+)
+def _clustering_field(graph: CSRGraph) -> np.ndarray:
+    return clustering_coefficients(graph)
+
+
+@edge_measure(
+    "support", cost="moderate", replace=True,
+    description="triangle support sup(e) per edge",
+)
+def _support_field(graph: CSRGraph) -> np.ndarray:
+    return edge_supports(graph).astype(np.float64)

@@ -44,6 +44,7 @@ import numpy as np
 
 from ..core.scalar_graph import ScalarGraph
 from ..core.scalar_tree import ScalarTree, attach_vertex
+from ..core.simplify import simplify_tree
 from ..core.super_tree import SuperTree, build_super_tree, splice_super_tree
 from ..core.union_find import RollbackUnionFind
 from .delta import DeltaGraph
@@ -128,6 +129,20 @@ class StreamingScalarTree:
             self._super_stale = False
             self._super_dirty_above = -_INF
         return self._super
+
+    def display_tree(
+        self, bins: Optional[int] = None, scheme: str = "quantile"
+    ) -> SuperTree:
+        """The presentation tree of the current snapshot: simplified to
+        ``bins`` scalar levels when given, else the exact super tree.
+
+        This is the streaming side of the pipeline's display stage
+        (:class:`repro.engine.pipeline.StreamingPipeline`), matching
+        what a static build would produce on the compacted snapshot.
+        """
+        if bins:
+            return simplify_tree(self.tree, bins, scheme=scheme)
+        return self.super_tree()
 
     # ------------------------------------------------------------------
     # Full (recorded) build

@@ -1,0 +1,108 @@
+"""Unit tests for the measure registry."""
+
+import numpy as np
+import pytest
+
+from repro.engine import registry
+from repro.graph import from_edges
+from repro.measures import core_numbers
+
+
+@pytest.fixture
+def small_graph():
+    return from_edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+
+
+class TestBuiltins:
+    def test_names_include_cli_measures(self):
+        names = registry.measure_names()
+        for name in ("kcore", "ktruss", "degree", "betweenness",
+                     "pagerank", "closeness", "harmonic", "eigenvector"):
+            assert name in names
+
+    def test_kind_filter(self):
+        assert "ktruss" not in registry.measure_names(kind="vertex")
+        assert "ktruss" in registry.measure_names(kind="edge")
+        assert "kcore" in registry.measure_names(kind="vertex")
+
+    def test_kind_filter_validates(self):
+        with pytest.raises(ValueError):
+            registry.measure_names(kind="hyperedge")
+
+    def test_lazy_resolution(self, small_graph):
+        spec = registry.get_measure("kcore")
+        assert spec.kind == "vertex"
+        assert spec.cost in ("cheap", "moderate", "expensive")
+        values = registry.compute("kcore", small_graph)
+        assert values.dtype == np.float64
+        np.testing.assert_array_equal(
+            values, core_numbers(small_graph).astype(float)
+        )
+
+    def test_edge_measure_length(self, small_graph):
+        values = registry.compute("ktruss", small_graph)
+        assert len(values) == small_graph.n_edges
+
+    def test_unknown_measure(self):
+        with pytest.raises(KeyError, match="unknown measure"):
+            registry.get_measure("nonsense")
+
+
+class TestCustomMeasures:
+    def test_register_and_compute(self, small_graph):
+        @registry.vertex_measure("test_halfdeg", cost="cheap")
+        def half_degree(graph):
+            return graph.degree() / 2.0
+
+        try:
+            assert "test_halfdeg" in registry.measure_names(kind="vertex")
+            values = registry.compute("test_halfdeg", small_graph)
+            np.testing.assert_array_equal(values, small_graph.degree() / 2.0)
+        finally:
+            registry.unregister("test_halfdeg")
+        assert "test_halfdeg" not in registry.measure_names()
+
+    def test_duplicate_rejected(self):
+        @registry.edge_measure("test_dup")
+        def one(graph):
+            return np.ones(graph.n_edges)
+
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                @registry.edge_measure("test_dup")
+                def two(graph):
+                    return np.zeros(graph.n_edges)
+        finally:
+            registry.unregister("test_dup")
+
+    def test_replace_allowed(self, small_graph):
+        @registry.vertex_measure("test_repl")
+        def one(graph):
+            return np.ones(graph.n_vertices)
+
+        try:
+            @registry.vertex_measure("test_repl", replace=True)
+            def two(graph):
+                return np.zeros(graph.n_vertices)
+
+            assert registry.compute("test_repl", small_graph).sum() == 0
+        finally:
+            registry.unregister("test_repl")
+
+    def test_bad_kind_and_cost(self):
+        with pytest.raises(ValueError):
+            registry.register_measure("test_bad", kind="face")
+        with pytest.raises(ValueError):
+            registry.register_measure("test_bad", kind="vertex", cost="free")
+
+    def test_builtin_unregister_rejected(self):
+        with pytest.raises(ValueError, match="built-in"):
+            registry.unregister("kcore")
+
+    def test_shadowing_lazy_builtin_rejected(self):
+        # "betweenness" may not be imported/registered yet, but its name
+        # is taken: silent shadowing would be clobbered on lazy import.
+        with pytest.raises(ValueError, match="already registered"):
+            @registry.vertex_measure("betweenness")
+            def fake(graph):
+                return np.zeros(graph.n_vertices)

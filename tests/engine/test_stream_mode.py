@@ -1,0 +1,117 @@
+"""Streaming execution mode: the incremental tree stage must produce
+super trees array-identical to a static pipeline on the compacted
+snapshot, through the same sink code path."""
+
+import numpy as np
+import pytest
+
+from repro.core import ScalarGraph
+from repro.engine import ArtifactCache, Pipeline, StreamingPipeline
+from repro.graph import from_edges
+from repro.stream import AddEdge, RemoveEdge, SetScalar
+
+
+@pytest.fixture
+def field():
+    graph = from_edges(
+        [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (4, 5), (5, 6), (6, 7)]
+    )
+    return ScalarGraph(graph, [3.0, 2.0, 1.0, 2.0, 3.0, 1.0, 2.0, 1.5])
+
+
+def assert_super_equal(a, b):
+    np.testing.assert_array_equal(a.parent, b.parent)
+    np.testing.assert_array_equal(a.scalars, b.scalars)
+    assert len(a.members) == len(b.members)
+    for ma, mb in zip(a.members, b.members):
+        np.testing.assert_array_equal(ma, mb)
+
+
+BATCHES = [
+    [AddEdge(1, 3), SetScalar(5, 2.5)],
+    [RemoveEdge(0, 1), SetScalar(2, 3.5)],
+    [AddEdge(2, 7), AddEdge(0, 6), SetScalar(0, 0.5)],
+]
+
+
+class TestEquivalence:
+    def test_identical_to_static_after_each_batch(self, field):
+        sp = StreamingPipeline(field)
+        for batch in BATCHES:
+            sp.apply(batch)
+            assert_super_equal(
+                sp.display_tree, sp.static_equivalent().display_tree
+            )
+
+    def test_identical_with_bins(self, field):
+        sp = StreamingPipeline(field, bins=2)
+        for batch in BATCHES:
+            sp.apply(batch)
+        assert_super_equal(
+            sp.display_tree, sp.static_equivalent().display_tree
+        )
+
+    def test_identical_under_rebuild_fallback(self, field):
+        # Threshold 0 forces the full-rebuild path each batch.
+        sp = StreamingPipeline(field, rebuild_threshold=0.0)
+        for batch in BATCHES:
+            sp.apply(batch)
+        assert sp.stats["full_rebuilds"] > 0
+        assert_super_equal(
+            sp.display_tree, sp.static_equivalent().display_tree
+        )
+
+    def test_raw_tree_identical(self, field):
+        sp = StreamingPipeline(field)
+        for batch in BATCHES:
+            sp.apply(batch)
+        static = sp.static_equivalent()
+        np.testing.assert_array_equal(sp.tree.parent, static.tree.parent)
+        np.testing.assert_array_equal(sp.tree.scalars, static.tree.scalars)
+
+
+class TestStreamingStages:
+    def test_field_stage_shared_with_static(self, field):
+        # Building via a measure name goes through the cached field stage.
+        cache = ArtifactCache()
+        Pipeline(field.graph, "kcore", cache=cache).display_tree
+        misses = cache.stats["misses"]
+        sp = StreamingPipeline(field.graph, "kcore", cache=cache)
+        assert cache.stats["misses"] == misses  # field came from cache
+        assert sp.stats["batches"] == 0
+
+    def test_edge_measure_rejected(self, field):
+        with pytest.raises(ValueError, match="vertex measure"):
+            StreamingPipeline(field.graph, "ktruss")
+
+    def test_display_invalidated_on_apply(self, field):
+        sp = StreamingPipeline(field)
+        before = sp.display_tree
+        hf_before = sp.heightfield(24)
+        sp.apply([SetScalar(0, 9.0)])
+        after = sp.display_tree
+        assert float(after.scalars.max()) == 9.0
+        assert float(before.scalars.max()) != 9.0
+        assert sp.heightfield(24) is not hf_before  # invalidated too
+
+    def test_window_push(self, field):
+        sp = StreamingPipeline(field, window=1.5)
+        sp.push(0.0, [AddEdge(1, 3)])
+        sp.push(1.0, [SetScalar(5, 2.5)])
+        sp.push(3.0, [AddEdge(0, 6)])  # expires the first batch
+        assert_super_equal(
+            sp.display_tree, sp.static_equivalent().display_tree
+        )
+
+    def test_push_without_window(self, field):
+        with pytest.raises(ValueError, match="no sliding window"):
+            StreamingPipeline(field).push(0.0, [AddEdge(1, 3)])
+
+    def test_sinks_render(self, field, tmp_path):
+        sp = StreamingPipeline(field)
+        sp.apply(BATCHES[0])
+        out = tmp_path / "frame.png"
+        sp.render(path=out, resolution=24, width=48, height=36)
+        assert out.exists()
+        assert sp.treemap().startswith("<svg")
+        assert len(sp.peaks(count=2)) <= 2

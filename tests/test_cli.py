@@ -57,6 +57,22 @@ class TestTerrainCommand:
                 "--measure", "nonsense",
             ])
 
+    def test_unknown_measure_is_parse_error_with_choices(
+        self, edge_list_file, capsys
+    ):
+        # Validated at argparse level against the measure registry: the
+        # process exits with the usage-error code and the message lists
+        # the known measures.
+        with pytest.raises(SystemExit) as exc:
+            main([
+                "terrain", "--edge-list", edge_list_file,
+                "--measure", "nonsense",
+            ])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice: 'nonsense'" in err
+        assert "kcore" in err and "ktruss" in err
+
     def test_missing_input(self):
         with pytest.raises(SystemExit):
             main(["terrain"])
@@ -166,6 +182,17 @@ class TestStreamCommand:
                 "--measure", "ktruss",
             ])
 
+    def test_edge_measures_rejected_at_parse_time(
+        self, edge_list_file, edit_log, capsys
+    ):
+        with pytest.raises(SystemExit) as exc:
+            main([
+                "stream", "--edge-list", edge_list_file, "--log", edit_log,
+                "--measure", "ktruss",
+            ])
+        assert exc.value.code == 2
+        assert "vertex measures only" in capsys.readouterr().err
+
     def test_missing_log(self, edge_list_file):
         with pytest.raises(SystemExit, match="edit log not found"):
             main([
@@ -230,3 +257,24 @@ class TestCorrelateCommand:
                 "correlate", "--edge-list", edge_list_file,
                 "degree", "nonsense",
             ])
+
+    def test_edge_field_rejected(self, edge_list_file, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([
+                "correlate", "--edge-list", edge_list_file,
+                "degree", "ktruss",
+            ])
+        assert exc.value.code == 2
+        assert "vertex measures only" in capsys.readouterr().err
+
+
+class TestCacheDir:
+    def test_terrain_populates_cache(self, edge_list_file, tmp_path):
+        cache_dir = tmp_path / "cache"
+        out = tmp_path / "t.png"
+        assert main([
+            "terrain", "--edge-list", edge_list_file,
+            "--cache-dir", str(cache_dir), "-o", str(out),
+            "--resolution", "24", "--width", "48", "--height", "36",
+        ]) == 0
+        assert list(cache_dir.glob("*.json"))  # persisted stage artifacts
