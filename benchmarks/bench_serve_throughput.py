@@ -1,0 +1,191 @@
+"""Closed-loop load benchmark of the terrain tile server.
+
+Three phases against a live :class:`ServeApp` on an ephemeral port:
+
+1. **cold tile** — the first tile request pays the whole pipeline
+   (field → tree → layout → rasterize → LOD levels → slice);
+2. **warm tiles** — a closed loop of tile GETs over a handful of client
+   threads, measuring RPS and p50/p99 latency.  ``/stats`` before/after
+   proves the warm phase did *zero* pipeline recomputation (no cache
+   misses, no runner builds);
+3. **cold burst** — N clients hammer one cold tile key (a second
+   measure) simultaneously; the runner must coalesce them to a single
+   build.
+
+Functional assertions (304 revalidation, coalescing, zero warm misses)
+always run; the wall-clock assertion — warm RPS ≥ 20× cold RPS — is
+skipped under ``REPRO_BENCH_TINY=1`` (CI smoke on shared runners).
+"""
+
+import http.client
+import json
+import os
+import threading
+import time
+
+import numpy as np
+
+from repro.serve import ServeApp, ServerThread
+
+from conftest import OUT_DIR
+
+TINY = os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0")
+DATASET = "grqc"
+TILE_SIZE = 16 if TINY else 32
+LEVELS = 2 if TINY else 3
+WARM_REQUESTS = 60 if TINY else 600
+CLIENT_THREADS = 2 if TINY else 4
+BURST_CLIENTS = 8 if TINY else 16
+
+
+def get(port, url, headers=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=300)
+    try:
+        conn.request("GET", url, headers=headers or {})
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        conn.close()
+
+
+def stats(port):
+    return json.loads(get(port, "/stats")[2])
+
+
+def test_serve_throughput(report):
+    from repro.graph import datasets
+
+    datasets.load(DATASET)  # generation cost is the source stage, not ours
+
+    app = ServeApp(tile_size=TILE_SIZE, levels=LEVELS)
+    app.add_dataset(DATASET, ["kcore", "degree"])
+    per_side = 2 ** (LEVELS - 1)
+    tile_urls = [
+        f"/t/{DATASET}/kcore/0/{tx}/{ty}"
+        for tx in range(per_side)
+        for ty in range(per_side)
+    ]
+
+    with ServerThread(app) as server:
+        port = server.port
+
+        # -- phase 1: cold tile (includes the whole pipeline build) ----
+        t0 = time.perf_counter()
+        status, headers, body = get(port, tile_urls[0])
+        t_cold = time.perf_counter() - t0
+        assert status == 200 and body
+        etag = headers["ETag"]
+
+        # 304 revalidation works and is cheap.
+        status_304, headers_304, body_304 = get(
+            port, tile_urls[0], headers={"If-None-Match": etag}
+        )
+        assert status_304 == 304 and body_304 == b""
+        assert headers_304["ETag"] == etag
+
+        # Touch every tile once so the warm phase is fully warm.
+        for url in tile_urls[1:]:
+            assert get(port, url)[0] == 200
+
+        # -- phase 2: closed-loop warm serving -------------------------
+        before = stats(port)
+        latencies = []
+        lock = threading.Lock()
+        per_thread = WARM_REQUESTS // CLIENT_THREADS
+
+        def client_loop(offset):
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", port, timeout=300
+            )
+            local = []
+            try:
+                for i in range(per_thread):
+                    url = tile_urls[(offset + i) % len(tile_urls)]
+                    t = time.perf_counter()
+                    conn.request("GET", url)
+                    response = conn.getresponse()
+                    payload = response.read()
+                    local.append(time.perf_counter() - t)
+                    assert response.status == 200 and payload
+            finally:
+                conn.close()
+            with lock:
+                latencies.extend(local)
+
+        threads = [
+            threading.Thread(target=client_loop, args=(k,))
+            for k in range(CLIENT_THREADS)
+        ]
+        t0 = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        t_warm_wall = time.perf_counter() - t0
+        after = stats(port)
+
+        # Warm serving never recomputed a pipeline stage.
+        assert after["cache"]["misses"] == before["cache"]["misses"], (
+            "warm tile requests caused cache misses"
+        )
+        assert after["runner"]["builds"] == before["runner"]["builds"], (
+            "warm tile requests triggered pipeline builds"
+        )
+
+        warm_rps = len(latencies) / t_warm_wall
+        cold_rps = 1.0 / t_cold
+        lat = np.sort(np.array(latencies))
+        p50 = float(lat[len(lat) // 2]) * 1000
+        p99 = float(lat[min(len(lat) - 1, int(len(lat) * 0.99))]) * 1000
+
+        # -- phase 3: cold burst coalescing (fresh measure) ------------
+        burst_url = f"/t/{DATASET}/degree/0/0/0"
+        builds_before = stats(port)["runner"]["builds"]
+        barrier = threading.Barrier(BURST_CLIENTS)
+        burst_results, burst_errors = [], []
+
+        def burst_client():
+            try:
+                barrier.wait(timeout=60)
+                burst_results.append(get(port, burst_url)[0])
+            except Exception as exc:
+                burst_errors.append(exc)
+
+        burst_threads = [
+            threading.Thread(target=burst_client)
+            for _ in range(BURST_CLIENTS)
+        ]
+        t0 = time.perf_counter()
+        for thread in burst_threads:
+            thread.start()
+        for thread in burst_threads:
+            thread.join()
+        t_burst = time.perf_counter() - t0
+        assert not burst_errors
+        assert burst_results == [200] * BURST_CLIENTS
+        builds = stats(port)["runner"]["builds"] - builds_before
+        # One levels build + one tile slice — not BURST_CLIENTS of each.
+        assert builds == 2, (
+            f"{BURST_CLIENTS} concurrent cold requests caused {builds} "
+            "runner builds (expected 2: levels + tile)"
+        )
+
+    report(
+        "serve_throughput",
+        f"tile server on {DATASET}/kcore, {LEVELS}-level pyramid of "
+        f"{TILE_SIZE}px tiles ({'tiny' if TINY else 'full'} mode):\n"
+        f"  cold first tile : {1000 * t_cold:9.1f} ms  "
+        f"({cold_rps:8.1f} rps)\n"
+        f"  warm closed loop: {len(latencies)} requests, "
+        f"{CLIENT_THREADS} clients -> {warm_rps:8.1f} rps "
+        f"({warm_rps / cold_rps:.0f}x cold)\n"
+        f"  latency         : p50 {p50:.2f} ms, p99 {p99:.2f} ms\n"
+        f"  cold burst      : {BURST_CLIENTS} clients, one key -> "
+        f"2 builds (coalesced) in {1000 * t_burst:.1f} ms\n"
+        f"  warm phase cache misses: 0, runner builds: 0",
+    )
+    if not TINY:
+        assert warm_rps >= 20 * cold_rps, (
+            f"warm serving only {warm_rps / cold_rps:.1f}x cold RPS "
+            "(need >=20x)"
+        )

@@ -1,0 +1,133 @@
+"""Client for a running ``repro serve``: fetch tiles, assemble terrain.
+
+Demonstrates the full tile protocol against a live server:
+
+1. ``GET /datasets`` to discover what is served and the tile grid;
+2. fetch every level-0 tile, parse the binary envelopes, and stitch
+   them into one heightfield (what a map client does per viewport);
+3. revalidate one tile with ``If-None-Match`` and show the 304;
+4. hit-test the assembled terrain's summit via ``GET /hit``;
+5. optionally read one frame from an SSE stream session.
+
+Run a server first, e.g.::
+
+    repro serve --datasets grqc --measures kcore --tile-size 32 --levels 3
+
+then::
+
+    PYTHONPATH=src python examples/serve_client.py --url http://127.0.0.1:8321
+"""
+
+import argparse
+import http.client
+import json
+import sys
+from urllib.parse import urlparse
+
+import numpy as np
+
+from repro.terrain.heightfield import Tile
+
+
+def request(base, url, headers=None):
+    parsed = urlparse(base)
+    conn = http.client.HTTPConnection(
+        parsed.hostname, parsed.port or 80, timeout=300
+    )
+    try:
+        conn.request("GET", url, headers=headers or {})
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        conn.close()
+
+
+def ascii_terrain(height, width=48):
+    """A quick shaded-relief of the assembled heightfield."""
+    ramp = " .:-=+*#%@"
+    res = height.shape[0]
+    step = max(1, res // width)
+    sampled = height[::step, ::step]
+    lo, hi = sampled.min(), sampled.max()
+    span = (hi - lo) or 1.0
+    rows = []
+    for row in sampled:
+        idx = ((row - lo) / span * (len(ramp) - 1)).astype(int)
+        rows.append("".join(ramp[i] for i in idx))
+    return "\n".join(rows)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--url", default="http://127.0.0.1:8321")
+    parser.add_argument("--stream", default=None,
+                        help="also read one SSE session by name")
+    args = parser.parse_args()
+
+    status, _, body = request(args.url, "/datasets")
+    if status != 200:
+        print(f"GET /datasets -> {status}; is the server running?")
+        return 1
+    doc = json.loads(body)
+    if not doc["datasets"]:
+        print("server has no datasets")
+        return 1
+    ds = doc["datasets"][0]
+    name, measure = ds["name"], ds["measures"][0]
+    per = ds["tiles_per_side"][0]
+    tile_size = ds["tile_size"]
+    print(f"assembling {name}/{measure}: level 0 is {per}x{per} tiles "
+          f"of {tile_size}px")
+
+    res = per * tile_size
+    height = np.empty((res, res))
+    etag = None
+    for ty in range(per):
+        for tx in range(per):
+            url = f"/t/{name}/{measure}/0/{tx}/{ty}"
+            status, headers, payload = request(args.url, url)
+            assert status == 200, f"{url} -> {status}"
+            tile = Tile.from_bytes(payload)
+            height[
+                ty * tile_size:(ty + 1) * tile_size,
+                tx * tile_size:(tx + 1) * tile_size,
+            ] = tile.height
+            etag = headers["ETag"]
+    print(ascii_terrain(height))
+    print(f"{per * per} tiles, heights {height.min():g}..{height.max():g}")
+
+    status, _, _ = request(
+        args.url, f"/t/{name}/{measure}/0/{per - 1}/{per - 1}",
+        headers={"If-None-Match": etag},
+    )
+    print(f"revalidation with stored ETag -> {status} "
+          f"({'cached copy still fresh' if status == 304 else 'changed'})")
+
+    # Hit-test the summit cell's world coordinates.
+    i, j = np.unravel_index(np.argmax(height), height.shape)
+    status, _, body = request(
+        args.url, f"/t/{name}/{measure}/0/{j // tile_size}/{i // tile_size}"
+    )
+    tile = Tile.from_bytes(body)
+    x, y = tile.heightfield().grid_to_world(i % tile_size, j % tile_size)
+    status, _, body = request(
+        args.url, f"/hit?dataset={name}&measure={measure}&x={x}&y={y}"
+    )
+    print(f"summit hit-test at ({x:.3f}, {y:.3f}) -> {json.loads(body)}")
+
+    if args.stream:
+        status, _, body = request(args.url, f"/stream/{args.stream}")
+        if status != 200:
+            print(f"GET /stream/{args.stream} -> {status}")
+            return 1
+        frames = [
+            line for line in body.decode().splitlines()
+            if line.startswith("event: ")
+        ]
+        print(f"stream {args.stream}: {len(frames)} events "
+              f"({', '.join(f.split(': ')[1] for f in frames[:6])}...)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""CI smoke test: boot ``repro serve`` for real and curl every endpoint.
+
+Generates a tiny graph + edit log, launches the CLI server as a
+subprocess on an ephemeral port, then asserts over plain HTTP:
+
+* ``/datasets``, ``/healthz``, ``/stats`` answer 200 with sane JSON;
+* a tile GET answers 200 with a parseable binary tile and a strong
+  ETag, and revalidating with ``If-None-Match`` answers 304;
+* ``/peaks`` and ``/hit`` answer 200 with the planted structure;
+* ``/treemap.svg`` and ``/profile.svg`` answer SVG;
+* ``/stream/smoke`` pushes at least one SSE frame and finishes.
+
+Exit code 0 on success.  Usage::
+
+    PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+import http.client
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+
+def get(port, url, headers=None, timeout=120):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        conn.request("GET", url, headers=headers or {})
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        conn.close()
+
+
+def main() -> int:
+    from repro.graph import from_edges
+    from repro.graph.io import write_edge_list
+    from repro.stream import SetScalar, write_edit_log
+
+    tmp = Path(tempfile.mkdtemp(prefix="repro-serve-smoke-"))
+    graph = from_edges(
+        [(i, j) for i in range(6) for j in range(i + 1, 6)]
+        + [(5, 6), (6, 7), (7, 8)]
+    )
+    edge_list = tmp / "toy.txt"
+    write_edge_list(graph, edge_list)
+    log = write_edit_log(
+        tmp / "edits.jsonl", [[SetScalar(8, 4.0)]], times=[1.0]
+    )
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--datasets", "",            # only the edge list below
+            "--edge-list", f"toy={edge_list}",
+            "--measures", "kcore",
+            "--tile-size", "16", "--levels", "2",
+            "--stream-log", f"smoke=toy:kcore:{log}",
+            "--cache-dir", str(tmp / "cache"),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    try:
+        line = proc.stdout.readline()
+        print(f"[server] {line.rstrip()}")
+        match = re.search(r"http://[\d.]+:(\d+)", line)
+        assert match, f"no listening banner in: {line!r}"
+        port = int(match.group(1))
+        deadline = time.time() + 60
+        while True:
+            try:
+                status, _, _ = get(port, "/healthz", timeout=5)
+                if status == 200:
+                    break
+            except OSError:
+                pass
+            assert time.time() < deadline, "server never became healthy"
+            time.sleep(0.2)
+
+        status, _, body = get(port, "/datasets")
+        assert status == 200, status
+        doc = json.loads(body)
+        assert doc["datasets"][0]["name"] == "toy"
+        assert doc["sessions"] == ["smoke"]
+        print("[ok] /datasets")
+
+        tile_url = "/t/toy/kcore/0/0/1"
+        status, headers, body = get(port, tile_url)
+        assert status == 200 and body, (status, len(body))
+        etag = headers["ETag"]
+        assert re.fullmatch(r'"[0-9a-f]{32}"', etag), etag
+
+        from repro.terrain.heightfield import Tile
+
+        tile = Tile.from_bytes(body)
+        assert tile.size == 16 and (tile.tx, tile.ty) == (0, 1)
+        print(f"[ok] {tile_url} -> 200, ETag {etag}")
+
+        status, headers, body = get(
+            port, tile_url, headers={"If-None-Match": etag}
+        )
+        assert status == 304 and body == b"", (status, body)
+        assert headers["ETag"] == etag
+        print(f"[ok] {tile_url} revalidation -> 304")
+
+        status, _, _ = get(port, "/t/toy/kcore/9/0/0")
+        assert status == 404, status
+        print("[ok] out-of-range tile -> 404")
+
+        status, _, body = get(port, "/peaks?dataset=toy&measure=kcore")
+        assert status == 200
+        peaks = json.loads(body)["peaks"]
+        assert peaks[0]["alpha"] == 5.0 and peaks[0]["size"] == 6, peaks
+        print("[ok] /peaks (K6 is the 5-core)")
+
+        status, _, body = get(port, "/hit?dataset=toy&measure=kcore&x=0&y=0")
+        assert status == 200 and json.loads(body)["node"] is not None
+        print("[ok] /hit")
+
+        for url in (
+            "/treemap.svg?dataset=toy&measure=kcore",
+            "/profile.svg?dataset=toy&measure=kcore",
+        ):
+            status, headers, body = get(port, url)
+            assert status == 200 and body.startswith(b"<svg"), url
+            print(f"[ok] {url}")
+
+        status, headers, body = get(port, "/stream/smoke")
+        assert status == 200
+        assert headers["Content-Type"] == "text/event-stream"
+        text = body.decode()
+        assert "event: hello" in text
+        assert "event: frame" in text
+        assert "event: done" in text
+        print("[ok] /stream/smoke (SSE hello/frame/done)")
+
+        status, _, body = get(port, "/stats")
+        stats = json.loads(body)
+        assert stats["runner"]["builds"] >= 1
+        print(f"[ok] /stats: {stats['runner']}")
+
+        print("serve smoke: all endpoints healthy")
+        return 0
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,6 +51,14 @@ Subpackages
     :class:`~repro.engine.pipeline.Pipeline` /
     :class:`~repro.engine.pipeline.StreamingPipeline`
     (source → field → tree → super/simplified tree → layout → sink).
+``repro.serve``
+    The concurrent terrain tile/query server (``repro serve``): a
+    stdlib-only asyncio HTTP service that rasterizes each (dataset,
+    measure, bins) once into an LOD tile pyramid of cached,
+    content-hash-ETagged :class:`~repro.terrain.heightfield.Tile`
+    artifacts, with peak/hit-test/treemap/profile endpoints, per-key
+    request coalescing over a bounded worker pool, and SSE replay of
+    edit logs with dirty-tile invalidations.
 """
 
 from .core import (
@@ -81,7 +89,7 @@ from .terrain import (
 )
 from .engine import ArtifactCache, Pipeline, StreamingPipeline
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ScalarGraph",

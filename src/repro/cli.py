@@ -1,8 +1,9 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Six commands cover the common workflows without writing any Python, and
-all of them are thin wrappers over one :class:`repro.engine.Pipeline`
-(static) or :class:`repro.engine.StreamingPipeline` (incremental):
+Seven commands cover the common workflows without writing any Python,
+and all of them are thin wrappers over one :class:`repro.engine.Pipeline`
+(static), :class:`repro.engine.StreamingPipeline` (incremental), or the
+:mod:`repro.serve` application:
 
 * ``terrain`` — render the terrain of a registered dataset (or an edge
   list file) under a chosen measure;
@@ -11,7 +12,10 @@ all of them are thin wrappers over one :class:`repro.engine.Pipeline`
 * ``treemap`` / ``profile`` — the linked 2D displays;
 * ``correlate`` — LCI/GCI of two vertex measures;
 * ``stream``  — replay a JSONL edit log through the incremental
-  maintainer and emit terrain frames.
+  maintainer and emit terrain frames;
+* ``serve``   — boot the concurrent terrain tile/query HTTP server
+  (LOD tile pyramid, peaks/hit/treemap/profile endpoints, SSE stream
+  replay) on top of the same cached pipelines.
 
 Measures are resolved through :mod:`repro.engine.registry` (so
 ``--measure`` is validated at parse time against the registry's known
@@ -49,7 +53,20 @@ from .engine import (
 from .stream import read_edit_log
 from .terrain import Camera
 
-__all__ = ["main"]
+__all__ = ["main", "version_string"]
+
+
+def version_string() -> str:
+    """``repro X.Y.Z`` from installed package metadata, falling back to
+    the in-tree ``__version__`` for PYTHONPATH=src checkouts."""
+    try:
+        from importlib.metadata import version
+
+        return f"repro {version('repro')}"
+    except Exception:
+        from . import __version__
+
+        return f"repro {__version__}"
 
 
 def _measure_arg(value: str) -> str:
@@ -237,11 +254,133 @@ def _cmd_stream(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .graph import datasets as dataset_registry
+    from .serve import HTTPServer, ServeApp, StageRunner, StreamSession
+
+    # Fail fast on flags the lazy pyramid/runner would otherwise only
+    # reject on the first request (as a 500) or with a raw traceback.
+    if args.tile_size < 8 or args.tile_size % 2 != 0:
+        raise SystemExit("--tile-size must be an even integer >= 8")
+    if args.levels < 1:
+        raise SystemExit("--levels must be >= 1")
+    if args.workers < 0:
+        raise SystemExit("--workers must be >= 0")
+
+    measures = [m.strip() for m in args.measures.split(",") if m.strip()]
+    if not measures:
+        raise SystemExit("--measures must name at least one measure")
+    for measure in measures:
+        _measure_arg_exit(measure)
+
+    cache = _cache(args)
+    if args.cache_memory_mb is not None:
+        if args.cache_memory_mb < 0:
+            raise SystemExit("--cache-memory-mb must be >= 0")
+        cache.max_memory_bytes = args.cache_memory_mb * (1 << 20)
+    runner = StageRunner(workers=args.workers)
+    app = ServeApp(
+        cache=cache,
+        runner=runner,
+        tile_size=args.tile_size,
+        levels=args.levels,
+        bins=args.bins,
+    )
+
+    names = [n.strip() for n in args.datasets.split(",") if n.strip()]
+    if names == ["all"]:
+        names = dataset_registry.names()
+    for name in names:
+        if name not in dataset_registry.names():
+            raise SystemExit(
+                f"unknown dataset {name!r}; available: "
+                f"{', '.join(dataset_registry.names())} (or 'all')"
+            )
+        app.add_dataset(name, measures)
+    for spec in args.edge_list or []:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            raise SystemExit(f"--edge-list expects NAME=PATH, got {spec!r}")
+        if not Path(path).exists():
+            raise SystemExit(f"edge list not found: {path}")
+        app.add_dataset(name, measures, edge_list=path)
+    if not app.datasets:
+        raise SystemExit("nothing to serve: no datasets or edge lists")
+
+    for spec in args.stream_log or []:
+        name, sep, rest = spec.partition("=")
+        parts = rest.split(":", 2)
+        if not sep or len(parts) != 3 or not all(parts):
+            raise SystemExit(
+                "--stream-log expects NAME=DATASET:MEASURE:LOGPATH, "
+                f"got {spec!r}"
+            )
+        ds, measure, log_path = parts
+        entry = app.datasets.get(ds)
+        if entry is None:
+            raise SystemExit(
+                f"--stream-log {name}: dataset {ds!r} is not served"
+            )
+        _vertex_measure_arg_exit(measure)
+        if not Path(log_path).exists():
+            raise SystemExit(f"edit log not found: {log_path}")
+        app.add_stream_session(StreamSession(
+            name, entry.source, measure, log_path,
+            bins=args.bins,
+            tile_size=args.tile_size, levels=args.levels,
+        ))
+
+    async def _run() -> None:
+        server = HTTPServer(app.router(), args.host, args.port)
+        await server.start()
+        resolution = args.tile_size * 2 ** (args.levels - 1)
+        print(
+            f"repro serve: http://{args.host}:{server.port} — "
+            f"{len(app.datasets)} dataset(s) x {len(measures)} measure(s), "
+            f"{args.levels}-level pyramid at {resolution}px "
+            f"({args.workers or 'thread'}-worker builds)",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.aclose()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("repro serve: shutting down")
+    finally:
+        runner.shutdown()
+    return 0
+
+
+def _measure_arg_exit(value: str) -> str:
+    """Like :func:`_measure_arg`, but for post-parse validation."""
+    try:
+        return _measure_arg(value)
+    except argparse.ArgumentTypeError as exc:
+        raise SystemExit(f"--measures: {exc}")
+
+
+def _vertex_measure_arg_exit(value: str) -> str:
+    try:
+        return _vertex_measure_arg(value)
+    except argparse.ArgumentTypeError as exc:
+        raise SystemExit(f"--stream-log: {exc}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The assembled argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Scalar fields on graphs: terrains, peaks, correlation.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=version_string(),
+        help="print the installed repro version and exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -311,6 +450,72 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--width", type=int, default=480)
     stream.add_argument("--height", type=int, default=360)
     stream.set_defaults(func=_cmd_stream)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve terrain tiles, peaks and linked displays over HTTP",
+        description=(
+            "Boot the concurrent terrain server: an LOD tile pyramid "
+            "(strong ETags, 304 revalidation), peak/hit-test/treemap/"
+            "profile endpoints and SSE stream replay, all built lazily "
+            "through the cached engine pipeline — concurrent cold "
+            "requests for one artifact coalesce to a single build."
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: %(default)s)")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="TCP port; 0 picks an ephemeral port "
+                            "(default: %(default)s)")
+    serve.add_argument(
+        "--datasets", default="grqc",
+        help="comma-separated registered dataset names, or 'all' "
+             "(default: %(default)s)",
+    )
+    serve.add_argument(
+        "--measures", default="kcore",
+        help="comma-separated measures to serve each dataset under "
+             "(default: %(default)s)",
+    )
+    serve.add_argument(
+        "--edge-list", action="append", metavar="NAME=PATH",
+        help="additionally serve a SNAP-style edge-list file under NAME "
+             "(repeatable)",
+    )
+    serve.add_argument(
+        "--bins", type=int, default=None,
+        help="simplify display trees to ~N scalar levels",
+    )
+    serve.add_argument(
+        "--tile-size", type=int, default=64,
+        help="tile edge length in cells (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--levels", type=int, default=3,
+        help="LOD pyramid depth; base resolution is "
+             "tile-size * 2^(levels-1) (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=0,
+        help="size of the ProcessPoolExecutor for pipeline builds; "
+             "0 = bounded in-process threads (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None,
+        help="persist pipeline artifacts here (default: $REPRO_CACHE_DIR "
+             "if set, else in-memory only)",
+    )
+    serve.add_argument(
+        "--cache-memory-mb", type=int, default=None, metavar="MB",
+        help="LRU-bound the server's cache memory (stage artifacts plus "
+             "the encoded-tile memo share this budget; default: unbounded)",
+    )
+    serve.add_argument(
+        "--stream-log", action="append", metavar="NAME=DATASET:MEASURE:PATH",
+        help="register an SSE replay session at /stream/NAME over a "
+             "JSONL edit log (repeatable)",
+    )
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

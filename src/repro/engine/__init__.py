@@ -18,7 +18,13 @@ drivers:
 """
 
 from . import registry
-from .cache import ArtifactCache, fingerprint_array, fingerprint_graph, stage_key
+from .cache import (
+    ArtifactCache,
+    artifact_nbytes,
+    fingerprint_array,
+    fingerprint_graph,
+    stage_key,
+)
 from .pipeline import (
     DatasetSource,
     EdgeListSource,
@@ -40,6 +46,7 @@ from .registry import (
 __all__ = [
     "registry",
     "ArtifactCache",
+    "artifact_nbytes",
     "fingerprint_array",
     "fingerprint_graph",
     "stage_key",

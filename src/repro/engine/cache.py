@@ -10,12 +10,20 @@ Two tiers:
 
 * **memory** — every artifact, including ones with no on-disk form
   (terrain layouts);
-* **disk** (optional) — artifacts with a stable serialized form (trees
-  and numeric arrays, via :mod:`repro.core.serialize`'s artifact
-  envelope) are written to ``<directory>/<key>.json`` so a second
-  process skips straight to render.
+* **disk** (optional) — artifacts with a stable serialized form (trees,
+  numeric arrays and terrain tiles, via :mod:`repro.core.serialize`'s
+  artifact envelope) are written to ``<directory>/<key>.json`` so a
+  second process skips straight to render.
 
-``stats`` counts hits/misses for tests and benchmark reporting.
+The cache is safe for concurrent use: an ``RLock`` guards the memory
+tier (the server's request handlers, worker callbacks and benchmarks all
+share one instance), and an optional ``max_memory_bytes`` turns the
+memory tier into an LRU so a long-running server cannot grow without
+bound.  CLI runs keep the default of unbounded memory — a one-shot build
+wants every stage hot.
+
+``stats`` counts hits/misses/evictions for tests and benchmark
+reporting.
 """
 
 from __future__ import annotations
@@ -23,6 +31,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sys
+import threading
+from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, Optional, Union
 
@@ -33,6 +44,7 @@ from ..graph.csr import CSRGraph
 
 __all__ = [
     "ArtifactCache",
+    "artifact_nbytes",
     "fingerprint_array",
     "fingerprint_graph",
     "stage_key",
@@ -74,6 +86,34 @@ def stage_key(stage: str, params: Dict[str, object], *fingerprints: str) -> str:
     return _sha256(payload.encode())
 
 
+def artifact_nbytes(value) -> int:
+    """Approximate memory footprint of a cached artifact.
+
+    Arrays and array-backed objects (trees, tiles, heightfields) report
+    their buffer sizes; anything else falls back to ``sys.getsizeof``.
+    Used by the cache's LRU accounting — an estimate is fine, the bound
+    exists to stop unbounded growth, not to meter bytes exactly.
+    """
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    total = 0
+    seen = False
+    for attr in ("parent", "scalars", "height", "node"):
+        part = getattr(value, attr, None)
+        if isinstance(part, np.ndarray):
+            total += int(part.nbytes)
+            seen = True
+    members = getattr(value, "members", None)
+    if isinstance(members, list):
+        total += sum(
+            int(m.nbytes) for m in members if isinstance(m, np.ndarray)
+        )
+        seen = True
+    if seen:
+        return total
+    return int(sys.getsizeof(value))
+
+
 class ArtifactCache:
     """In-memory (always) + on-disk (optional) store of stage artifacts.
 
@@ -83,19 +123,36 @@ class ArtifactCache:
         Where to persist serializable artifacts.  ``None`` keeps the
         cache memory-only (still useful: repeated builds in one process
         share artifacts).
+    max_memory_bytes:
+        LRU budget for the memory tier; ``None`` (the default) keeps it
+        unbounded.  Eviction only drops the in-memory copy — entries
+        persisted to ``directory`` reload transparently on the next get.
+
+    All memory-tier operations are guarded by an ``RLock``, so one
+    instance can back concurrent server handlers and worker threads.
     """
 
-    def __init__(self, directory: Optional[PathLike] = None) -> None:
+    def __init__(
+        self,
+        directory: Optional[PathLike] = None,
+        max_memory_bytes: Optional[int] = None,
+    ) -> None:
         self.directory = Path(directory) if directory else None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
-        self._memory: Dict[str, object] = {}
+        if max_memory_bytes is not None and max_memory_bytes < 0:
+            raise ValueError("max_memory_bytes must be >= 0 (or None)")
+        self.max_memory_bytes = max_memory_bytes
+        self._lock = threading.RLock()
+        self._memory: "OrderedDict[str, object]" = OrderedDict()
+        self._memory_bytes = 0
         self.stats: Dict[str, int] = {
             "hits": 0,
             "misses": 0,
             "memory_hits": 0,
             "disk_hits": 0,
             "puts": 0,
+            "evictions": 0,
         }
 
     @classmethod
@@ -107,13 +164,43 @@ class ArtifactCache:
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
+    def _remember(self, key: str, value) -> None:
+        """Insert into the memory tier (lock held) and evict LRU entries
+        past the budget.  The just-inserted entry is never evicted, even
+        when it alone exceeds the budget — the caller is about to use it.
+        """
+        if key in self._memory:
+            self._memory_bytes -= artifact_nbytes(self._memory[key])
+        self._memory[key] = value
+        self._memory.move_to_end(key)
+        self._memory_bytes += artifact_nbytes(value)
+        if self.max_memory_bytes is None:
+            return
+        while (
+            self._memory_bytes > self.max_memory_bytes
+            and len(self._memory) > 1
+        ):
+            old_key, old_value = self._memory.popitem(last=False)
+            self._memory_bytes -= artifact_nbytes(old_value)
+            self.stats["evictions"] += 1
+
+    @property
+    def memory_bytes(self) -> int:
+        """Approximate bytes held by the memory tier."""
+        with self._lock:
+            return self._memory_bytes
+
     def get(self, key: str):
         """The cached artifact for ``key``, or ``None`` on a miss."""
-        if key in self._memory:
-            self.stats["hits"] += 1
-            self.stats["memory_hits"] += 1
-            return self._memory[key]
+        with self._lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                self.stats["hits"] += 1
+                self.stats["memory_hits"] += 1
+                return self._memory[key]
         if self.directory is not None:
+            # Read and parse outside the lock: a multi-MB JSON load must
+            # not stall other threads' pure memory hits.
             path = self._path(key)
             try:
                 value = artifact_from_json(path.read_text())
@@ -125,11 +212,13 @@ class ArtifactCache:
                 # drop it so it cannot poison future runs.
                 path.unlink(missing_ok=True)
             else:
-                self._memory[key] = value
-                self.stats["hits"] += 1
-                self.stats["disk_hits"] += 1
+                with self._lock:
+                    self._remember(key, value)
+                    self.stats["hits"] += 1
+                    self.stats["disk_hits"] += 1
                 return value
-        self.stats["misses"] += 1
+        with self._lock:
+            self.stats["misses"] += 1
         return None
 
     def put(self, key: str, value, disk: bool = True):
@@ -139,8 +228,9 @@ class ArtifactCache:
         is true (stages pass ``False`` for cheap-to-recompute or
         unserializable artifacts), and the value has a serialized form.
         """
-        self._memory[key] = value
-        self.stats["puts"] += 1
+        with self._lock:
+            self._remember(key, value)
+            self.stats["puts"] += 1
         if self.directory is not None and disk:
             try:
                 text = artifact_to_json(value)
@@ -149,24 +239,29 @@ class ArtifactCache:
             # Write-then-rename so concurrent readers (the cache is
             # meant to be shared across processes) never observe a
             # partially written entry.
-            tmp = self._path(key).with_suffix(f".tmp{os.getpid()}")
+            tmp = self._path(key).with_suffix(
+                f".tmp{os.getpid()}.{threading.get_ident()}"
+            )
             tmp.write_text(text)
             os.replace(tmp, self._path(key))
         return value
 
     def clear(self, disk: bool = False) -> None:
         """Drop the memory tier (and the disk tier when ``disk=True``)."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
+            self._memory_bytes = 0
         if disk and self.directory is not None:
             for path in self.directory.glob("*.json"):
                 path.unlink()
 
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
     def __repr__(self) -> str:
         where = str(self.directory) if self.directory else "memory-only"
         return (
-            f"ArtifactCache({where}, entries={len(self._memory)}, "
+            f"ArtifactCache({where}, entries={len(self)}, "
             f"hits={self.stats['hits']}, misses={self.stats['misses']})"
         )

@@ -32,7 +32,7 @@ Example::
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -291,6 +291,37 @@ class Pipeline(_TreeSinks):
             value = self.cache.put(key, build(), disk=disk)
         return value
 
+    # -- stage-level entry points --------------------------------------
+    def stage(self, name: str, params: Dict[str, object], build, disk=True):
+        """Run ``build()`` as a *custom* cached stage of this pipeline.
+
+        The stage is keyed exactly like the built-in ones — name +
+        params + the graph and field content fingerprints — so derived
+        artifacts (e.g. :mod:`repro.serve`'s LOD tiles) share the
+        pipeline's cache identity: same inputs hit, changed inputs miss.
+        """
+        return self._stage(
+            name,
+            params,
+            [self.graph_fingerprint, self.field_fingerprint],
+            build,
+            disk=disk,
+        )
+
+    def stage_artifact_key(self, name: str, params: Dict[str, object]) -> str:
+        """The cache key :meth:`stage` would use (for instrumentation)."""
+        return stage_key(
+            name, params, self.graph_fingerprint, self.field_fingerprint
+        )
+
+    def display_params(self) -> Dict[str, object]:
+        """The parameter triple shared by every display-derived stage."""
+        return {
+            "kind": self.kind,
+            "bins": self.bins,
+            "scheme": self.scheme if self.bins else None,
+        }
+
     # -- stages ---------------------------------------------------------
     @property
     def graph(self) -> CSRGraph:
@@ -362,11 +393,7 @@ class Pipeline(_TreeSinks):
         """Display stage: super tree (Algorithm 2), simplified if
         ``bins`` is set.  A cache hit here skips the tree stage too."""
         if self._display is None:
-            params = {
-                "kind": self.kind,
-                "bins": self.bins,
-                "scheme": self.scheme if self.bins else None,
-            }
+            params = self.display_params()
             if self.bins:
                 build = lambda: simplify_tree(  # noqa: E731
                     self.tree, self.bins, scheme=self.scheme
@@ -385,11 +412,7 @@ class Pipeline(_TreeSinks):
         """Layout stage: the nested-disc 2D layout (memory-cached —
         layouts have no on-disk form)."""
         if self._layout is None:
-            params = {
-                "kind": self.kind,
-                "bins": self.bins,
-                "scheme": self.scheme if self.bins else None,
-            }
+            params = self.display_params()
             self._layout = self._stage(
                 "layout",
                 params,
@@ -401,12 +424,7 @@ class Pipeline(_TreeSinks):
 
     def heightfield(self, resolution: int = 160):
         if resolution not in self._heightfields:
-            params = {
-                "kind": self.kind,
-                "bins": self.bins,
-                "scheme": self.scheme if self.bins else None,
-                "resolution": resolution,
-            }
+            params = dict(self.display_params(), resolution=resolution)
             self._heightfields[resolution] = self._stage(
                 "heightfield",
                 params,

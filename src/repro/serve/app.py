@@ -1,0 +1,434 @@
+"""The terrain tile/query service: routes bound to cached pipelines.
+
+:class:`ServeApp` owns one shared :class:`ArtifactCache`, one
+:class:`StageRunner`, and a registry of datasets × measures.  Nothing is
+built at boot: the first request for a (dataset, measure) triggers one
+coalesced cold build (source → field → tree → layout → heightfield →
+LOD levels) through the runner, and everything after that serves from
+the cache — a warm tile request is a dictionary lookup, with zero
+pipeline recomputation.
+
+Routes
+------
+``GET /``                     service index
+``GET /healthz``              liveness probe
+``GET /stats``                cache/runner counters (benchmark hooks)
+``GET /datasets``             served datasets, measures, tile grids
+``GET /t/{ds}/{measure}/{level}/{tx}/{ty}``
+                              binary tile; strong ETag, 304 on
+                              ``If-None-Match``
+``GET /peaks?dataset=&measure=&count=``
+                              highest disconnected peaks as JSON
+``GET /hit?dataset=&measure=&x=&y=``
+                              hover hit-test via ``TerrainLayout.node_at``
+``GET /treemap.svg?dataset=&measure=``   linked 2D treemap
+``GET /profile.svg?dataset=&measure=``   linked 1D profile
+``GET /stream/{session}``     SSE replay (see :mod:`repro.serve.stream`)
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from ..engine import ArtifactCache, registry
+from ..engine.pipeline import Pipeline
+from . import workers
+from .http import EventStreamResponse, HTTPError, Request, Response, Router
+from .lod import LODPyramid
+from .stream import StreamSession, sse_events
+from .workers import StageRunner
+
+__all__ = ["ServeApp"]
+
+_TILE_CACHE_CONTROL = "public, max-age=0, must-revalidate"
+
+
+class _DatasetEntry:
+    __slots__ = ("name", "source", "measures")
+
+    def __init__(
+        self, name: str, source: Dict[str, str], measures: List[str]
+    ) -> None:
+        self.name = name
+        self.source = source
+        self.measures = measures
+
+
+class ServeApp:
+    """Route handlers + lazy pipeline state for the terrain server."""
+
+    def __init__(
+        self,
+        *,
+        cache: Optional[ArtifactCache] = None,
+        runner: Optional[StageRunner] = None,
+        tile_size: int = 64,
+        levels: int = 3,
+        bins: Optional[int] = None,
+        scheme: str = "quantile",
+    ) -> None:
+        self.cache = cache if cache is not None else ArtifactCache()
+        self.runner = runner if runner is not None else StageRunner()
+        self.tile_size = tile_size
+        self.levels = levels
+        self.bins = bins
+        self.scheme = scheme
+        self.datasets: Dict[str, _DatasetEntry] = {}
+        self.sessions: Dict[str, StreamSession] = {}
+        self._pyramids: Dict[Tuple[str, str], LODPyramid] = {}
+        self._ready: Dict[Tuple[str, str], Dict[str, object]] = {}
+        # Encoded warm tiles: logical key -> (payload, etag).  Static
+        # content is immutable for the server's lifetime (content-hash
+        # keyed), so this memo never needs invalidation — and it shares
+        # the cache's memory budget (artifacts + payloads together stay
+        # under max_memory_bytes) so --cache-memory-mb bounds the whole
+        # server; evicted payloads re-encode from the cache, or rebuild
+        # through the coalesced funnel.
+        self._payloads: "OrderedDict[str, Tuple[bytes, str]]" = OrderedDict()
+        self._payload_bytes = 0
+        self._started = time.time()
+
+    def _payload_get(self, key: str) -> Optional[Tuple[bytes, str]]:
+        cached = self._payloads.get(key)
+        if cached is not None:
+            self._payloads.move_to_end(key)
+        return cached
+
+    def _payload_put(self, key: str, value: Tuple[bytes, str]) -> None:
+        if key in self._payloads:
+            return
+        self._payloads[key] = value
+        self._payload_bytes += len(value[0])
+        budget = self.cache.max_memory_bytes
+        if budget is None:
+            return
+        # One budget covers artifacts AND encoded payloads: the memo
+        # yields whatever headroom the cache's own tier isn't using, so
+        # --cache-memory-mb bounds the server's total, not each tier.
+        while (
+            self._payload_bytes + self.cache.memory_bytes > budget
+            and len(self._payloads) > 1
+        ):
+            _, (old_payload, _) = self._payloads.popitem(last=False)
+            self._payload_bytes -= len(old_payload)
+
+    # -- registry -------------------------------------------------------
+    def add_dataset(
+        self,
+        name: str,
+        measures: List[str],
+        *,
+        edge_list: Optional[str] = None,
+    ) -> None:
+        """Serve ``name`` — a registered dataset, or an edge-list file
+        when ``edge_list`` is given — under the listed measures."""
+        if not measures:
+            raise ValueError("at least one measure is required")
+        known = registry.measure_names()
+        for measure in measures:
+            if measure not in known:
+                raise KeyError(
+                    f"unknown measure {measure!r}; known: {', '.join(known)}"
+                )
+        if edge_list is not None:
+            source = {"kind": "edge_list", "path": str(edge_list)}
+        else:
+            source = {"kind": "dataset", "name": name}
+        self.datasets[name] = _DatasetEntry(name, source, list(measures))
+
+    def add_stream_session(self, session: StreamSession) -> None:
+        self.sessions[session.name] = session
+
+    # -- lookup helpers -------------------------------------------------
+    def _entry(self, ds: str) -> _DatasetEntry:
+        entry = self.datasets.get(ds)
+        if entry is None:
+            raise HTTPError(404, f"unknown dataset {ds!r}")
+        return entry
+
+    def _check_measure(self, entry: _DatasetEntry, measure: str) -> str:
+        if measure not in entry.measures:
+            raise HTTPError(
+                404,
+                f"dataset {entry.name!r} is not served under measure "
+                f"{measure!r} (available: {', '.join(entry.measures)})",
+            )
+        return measure
+
+    def _ds_measure(self, request: Request) -> Tuple[_DatasetEntry, str]:
+        entry = self._entry(request.query_str("dataset"))
+        return entry, self._check_measure(entry, request.query_str("measure"))
+
+    def spec(self, entry: _DatasetEntry, measure: str) -> Dict[str, object]:
+        cache_dir = self.cache.directory
+        return workers.pipeline_spec(
+            entry.source,
+            measure,
+            bins=self.bins,
+            scheme=self.scheme,
+            tile_size=self.tile_size,
+            levels=self.levels,
+            cache_dir=str(cache_dir) if cache_dir else None,
+        )
+
+    def pyramid(self, entry: _DatasetEntry, measure: str) -> LODPyramid:
+        """The in-process pyramid (thread mode's build target; also the
+        parent-side reader once stages are cached)."""
+        key = (entry.name, measure)
+        pyramid = self._pyramids.get(key)
+        if pyramid is None:
+            pipeline = Pipeline(
+                workers.source_from_spec(entry.source),
+                measure,
+                bins=self.bins,
+                scheme=self.scheme,
+                cache=self.cache,
+            )
+            pyramid = LODPyramid(
+                pipeline, tile_size=self.tile_size, levels=self.levels
+            )
+            self._pyramids[key] = pyramid
+        return pyramid
+
+    # -- coalesced build funnel ----------------------------------------
+    async def _ensure(
+        self, entry: _DatasetEntry, measure: str
+    ) -> Dict[str, object]:
+        """Cold-start funnel: every endpoint for (dataset, measure)
+        first awaits this one coalesced full build, so concurrent cold
+        requests — same tile or not — trigger exactly one pipeline
+        build, and everything downstream only reads caches."""
+        key = (entry.name, measure)
+        ready = self._ready.get(key)
+        if ready is not None:
+            return ready
+        run_key = f"levels:{entry.name}:{measure}"
+        if self.runner.uses_processes:
+            ready = await self.runner.run(
+                run_key, workers.ensure_levels, self.spec(entry, measure)
+            )
+        else:
+            ready = await self.runner.run(
+                run_key, self.pyramid(entry, measure).ensure_levels
+            )
+        self._ready[key] = ready
+        return ready
+
+    async def _job(self, entry, measure, kind, local_fn, worker_fn, *args):
+        """Run one read-ish job after the cold funnel.
+
+        ``local_fn(pyramid, *args)`` runs on the in-process thread pool
+        in thread mode; ``worker_fn(spec, *args)`` (a picklable
+        module-level function) runs on the process pool in process
+        mode.  Coalesced per (kind, dataset, measure, args).
+        """
+        await self._ensure(entry, measure)
+        run_key = f"{kind}:{entry.name}:{measure}:" + ":".join(
+            str(a) for a in args
+        )
+        if self.runner.uses_processes:
+            return await self.runner.run(
+                run_key, worker_fn, self.spec(entry, measure), *args
+            )
+        return await self.runner.run(
+            run_key, local_fn, self.pyramid(entry, measure), *args
+        )
+
+    # -- handlers -------------------------------------------------------
+    async def _get_index(self, request: Request) -> Response:
+        from .. import __version__
+
+        return Response.json_(
+            {
+                "service": "repro.serve",
+                "version": __version__,
+                "endpoints": [
+                    "/datasets",
+                    "/t/{ds}/{measure}/{level}/{tx}/{ty}",
+                    "/peaks?dataset=&measure=&count=",
+                    "/hit?dataset=&measure=&x=&y=",
+                    "/treemap.svg?dataset=&measure=",
+                    "/profile.svg?dataset=&measure=",
+                    "/stream/{session}",
+                    "/stats",
+                    "/healthz",
+                ],
+            }
+        )
+
+    async def _get_healthz(self, request: Request) -> Response:
+        return Response.json_({"ok": True})
+
+    async def _get_stats(self, request: Request) -> Response:
+        return Response.json_(
+            {
+                "cache": dict(
+                    self.cache.stats,
+                    entries=len(self.cache),
+                    memory_bytes=self.cache.memory_bytes,
+                    max_memory_bytes=self.cache.max_memory_bytes,
+                ),
+                "runner": dict(
+                    self.runner.stats, workers=self.runner.workers
+                ),
+                "warm_tiles": len(self._payloads),
+                "uptime_s": time.time() - self._started,
+            }
+        )
+
+    async def _get_datasets(self, request: Request) -> Response:
+        rows = []
+        for entry in self.datasets.values():
+            geometry = self.pyramid(entry, entry.measures[0])
+            row = {
+                "name": entry.name,
+                "source": entry.source["kind"],
+                "measures": entry.measures,
+                "tile_size": geometry.tile_size,
+                "levels": geometry.levels,
+                "base_resolution": geometry.base_resolution,
+                "tiles_per_side": [
+                    geometry.tiles_per_side(level)
+                    for level in range(geometry.levels)
+                ],
+                "tile_url": "/t/{ds}/{measure}/{level}/{tx}/{ty}".replace(
+                    "{ds}", entry.name
+                ),
+            }
+            ready = {
+                m: self._ready.get((entry.name, m), None)
+                for m in entry.measures
+            }
+            row["ready"] = {
+                m: (None if r is None else {"extent": r["extent"]})
+                for m, r in ready.items()
+            }
+            rows.append(row)
+        return Response.json_(
+            {
+                "datasets": rows,
+                "bins": self.bins,
+                "sessions": sorted(self.sessions),
+            }
+        )
+
+    async def _get_tile(
+        self, request: Request, ds: str, measure: str,
+        level: str, tx: str, ty: str,
+    ) -> Response:
+        entry = self._entry(ds)
+        self._check_measure(entry, measure)
+        try:
+            level_i, tx_i, ty_i = int(level), int(tx), int(ty)
+        except ValueError:
+            raise HTTPError(400, "tile coordinates must be integers")
+        # Bounds come from the pyramid itself (construction is free), so
+        # the HTTP 404 contract can never drift from the tiles built.
+        geometry = self.pyramid(entry, measure)
+        try:
+            per_side = geometry.tiles_per_side(level_i)
+        except KeyError:
+            per_side = 0
+        if not (0 <= tx_i < per_side and 0 <= ty_i < per_side):
+            raise HTTPError(
+                404,
+                f"no tile ({level_i}, {tx_i}, {ty_i}) — pyramid has "
+                f"{self.levels} levels of {self.tile_size}px tiles",
+            )
+        memo_key = f"tile:{ds}:{measure}:{level_i}:{tx_i}:{ty_i}"
+        cached = self._payload_get(memo_key)
+        if cached is None:
+            cached = await self._job(
+                entry, measure, "tile",
+                LODPyramid.tile_payload,
+                workers.build_tile_payload,
+                level_i, tx_i, ty_i,
+            )
+            self._payload_put(memo_key, cached)
+        payload, etag = cached
+        headers = [
+            ("ETag", etag),
+            ("Cache-Control", _TILE_CACHE_CONTROL),
+        ]
+        if etag in request.if_none_match() or "*" in request.if_none_match():
+            return Response(304, b"", headers=headers)
+        return Response(
+            200, payload,
+            content_type="application/x-repro-tile",
+            headers=headers,
+        )
+
+    async def _get_peaks(self, request: Request) -> Response:
+        entry, measure = self._ds_measure(request)
+        count = request.query_int("count", default=3, lo=1, hi=64)
+        peaks = await self._job(
+            entry, measure, "peaks",
+            lambda pyr, c: workers.peaks_as_dicts(pyr.pipeline, c),
+            workers.build_peaks,
+            count,
+        )
+        return Response.json_(
+            {"dataset": entry.name, "measure": measure, "peaks": peaks}
+        )
+
+    async def _get_hit(self, request: Request) -> Response:
+        entry, measure = self._ds_measure(request)
+        x = request.query_float("x")
+        y = request.query_float("y")
+        hit = await self._job(
+            entry, measure, "hit",
+            lambda pyr, xx, yy: workers.hit_as_dict(pyr.pipeline, xx, yy),
+            workers.build_hit,
+            x, y,
+        )
+        return Response.json_(
+            dict(hit, dataset=entry.name, measure=measure, x=x, y=y)
+        )
+
+    async def _get_treemap(self, request: Request) -> Response:
+        entry, measure = self._ds_measure(request)
+        size = request.query_int("size", default=640, lo=64, hi=4096)
+        svg = await self._job(
+            entry, measure, "treemap",
+            lambda pyr, s: pyr.pipeline.treemap(size=s),
+            workers.build_treemap_svg,
+            size,
+        )
+        return Response.text(svg, content_type="image/svg+xml")
+
+    async def _get_profile(self, request: Request) -> Response:
+        entry, measure = self._ds_measure(request)
+        width = request.query_int("width", default=720, lo=64, hi=4096)
+        height = request.query_int("height", default=240, lo=64, hi=4096)
+        svg = await self._job(
+            entry, measure, "profile",
+            lambda pyr, w, h: pyr.pipeline.profile(width=w, height=h),
+            workers.build_profile_svg,
+            width, height,
+        )
+        return Response.text(svg, content_type="image/svg+xml")
+
+    async def _get_stream(
+        self, request: Request, session: str
+    ) -> EventStreamResponse:
+        spec = self.sessions.get(session)
+        if spec is None:
+            raise HTTPError(404, f"unknown stream session {session!r}")
+        return EventStreamResponse(sse_events(spec, self.runner, self.cache))
+
+    # -- router ---------------------------------------------------------
+    def router(self) -> Router:
+        router = Router()
+        router.get("/", self._get_index)
+        router.get("/healthz", self._get_healthz)
+        router.get("/stats", self._get_stats)
+        router.get("/datasets", self._get_datasets)
+        router.get("/t/{ds}/{measure}/{level}/{tx}/{ty}", self._get_tile)
+        router.get("/peaks", self._get_peaks)
+        router.get("/hit", self._get_hit)
+        router.get("/treemap.svg", self._get_treemap)
+        router.get("/profile.svg", self._get_profile)
+        router.get("/stream/{session}", self._get_stream)
+        return router

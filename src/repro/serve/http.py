@@ -1,0 +1,385 @@
+"""Hand-rolled HTTP/1.1 on ``asyncio.start_server`` — no ``http.server``.
+
+Just enough protocol for the terrain service: GET/HEAD, percent-decoded
+paths and query strings, request bodies by ``Content-Length``,
+keep-alive, strong-ETag conditional responses, and Server-Sent Events.
+Everything is stdlib (``asyncio`` + ``urllib.parse``); the goal is zero
+new runtime dependencies, not a general-purpose web framework.
+
+Pieces
+------
+:class:`Request` / :class:`Response`
+    Parsed request and buffered response (``Response.json_`` /
+    ``Response.text`` helpers).
+:class:`EventStreamResponse`
+    A response whose body is an async iterator of ``(event, data)``
+    pairs, written as an SSE stream on a connection that then closes.
+:class:`Router`
+    ``/t/{ds}/{measure}/...``-style segment patterns; ``{name}``
+    segments capture into handler keyword arguments.
+:class:`HTTPServer`
+    The connection loop: parse → route → respond, keep-alive until
+    ``Connection: close``, a protocol error, or an event stream.
+:class:`HTTPError`
+    Raise from a handler to produce a JSON error response with that
+    status.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import traceback
+from typing import (
+    AsyncIterator,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Tuple,
+)
+from urllib.parse import parse_qsl, unquote
+
+__all__ = [
+    "HTTPError",
+    "Request",
+    "Response",
+    "EventStreamResponse",
+    "Router",
+    "HTTPServer",
+]
+
+_REASONS = {
+    200: "OK",
+    204: "No Content",
+    304: "Not Modified",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+_MAX_HEADERS = 100
+_MAX_BODY = 1 << 20
+
+
+class HTTPError(Exception):
+    """Handler-raised error rendered as a JSON response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class Request:
+    """One parsed HTTP request."""
+
+    __slots__ = ("method", "path", "query", "headers", "body")
+
+    def __init__(
+        self,
+        method: str,
+        path: str,
+        query: Dict[str, str],
+        headers: Dict[str, str],
+        body: bytes = b"",
+    ) -> None:
+        self.method = method
+        self.path = path
+        self.query = query
+        self.headers = headers
+        self.body = body
+
+    # -- typed query helpers (400 on bad input) -------------------------
+    def query_str(self, name: str, default: Optional[str] = None) -> str:
+        value = self.query.get(name, default)
+        if value is None:
+            raise HTTPError(400, f"missing required query parameter {name!r}")
+        return value
+
+    def query_int(
+        self,
+        name: str,
+        default: Optional[int] = None,
+        lo: Optional[int] = None,
+        hi: Optional[int] = None,
+    ) -> int:
+        raw = self.query.get(name)
+        if raw is None:
+            if default is None:
+                raise HTTPError(
+                    400, f"missing required query parameter {name!r}"
+                )
+            return default
+        try:
+            value = int(raw)
+        except ValueError:
+            raise HTTPError(400, f"query parameter {name}={raw!r} is not an integer")
+        if (lo is not None and value < lo) or (hi is not None and value > hi):
+            raise HTTPError(400, f"query parameter {name}={value} out of range")
+        return value
+
+    def query_float(self, name: str) -> float:
+        raw = self.query_str(name)
+        try:
+            return float(raw)
+        except ValueError:
+            raise HTTPError(400, f"query parameter {name}={raw!r} is not a number")
+
+    def if_none_match(self) -> List[str]:
+        """The ``If-None-Match`` header as a list of entity tags."""
+        raw = self.headers.get("if-none-match", "")
+        return [tag.strip() for tag in raw.split(",") if tag.strip()]
+
+
+class Response:
+    """A fully buffered response."""
+
+    __slots__ = ("status", "body", "headers")
+
+    def __init__(
+        self,
+        status: int = 200,
+        body: bytes = b"",
+        content_type: str = "application/octet-stream",
+        headers: Optional[List[Tuple[str, str]]] = None,
+    ) -> None:
+        self.status = status
+        self.body = body
+        self.headers = list(headers or [])
+        if body or status not in (204, 304):
+            self.headers.insert(0, ("Content-Type", content_type))
+
+    @classmethod
+    def json_(cls, obj, status: int = 200, **kwargs) -> "Response":
+        return cls(
+            status,
+            json.dumps(obj).encode(),
+            content_type="application/json",
+            **kwargs,
+        )
+
+    @classmethod
+    def text(
+        cls, text: str, status: int = 200, content_type: str = "text/plain"
+    ) -> "Response":
+        return cls(status, text.encode(), content_type=content_type)
+
+    def render(self, head_only: bool = False) -> bytes:
+        reason = _REASONS.get(self.status, "Unknown")
+        lines = [f"HTTP/1.1 {self.status} {reason}"]
+        lines.extend(f"{name}: {value}" for name, value in self.headers)
+        lines.append(f"Content-Length: {len(self.body)}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        return head if head_only else head + self.body
+
+
+class EventStreamResponse:
+    """Server-Sent Events: ``events`` yields ``(event, data)`` pairs."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: AsyncIterator[Tuple[str, str]]) -> None:
+        self.events = events
+
+
+Handler = Callable[..., "object"]
+
+
+class Router:
+    """Segment-pattern router; ``{name}`` segments capture path params."""
+
+    def __init__(self) -> None:
+        self._routes: List[Tuple[str, List[str], Handler]] = []
+
+    def get(self, pattern: str, handler: Handler) -> None:
+        self._routes.append(("GET", pattern.strip("/").split("/"), handler))
+
+    def match(self, method: str, path: str) -> Tuple[Handler, Dict[str, str]]:
+        segments = path.strip("/").split("/")
+        found_path = False
+        for route_method, route_segments, handler in self._routes:
+            if len(route_segments) != len(segments):
+                continue
+            params: Dict[str, str] = {}
+            for pat, seg in zip(route_segments, segments):
+                if pat.startswith("{") and pat.endswith("}"):
+                    if not seg:
+                        break
+                    params[pat[1:-1]] = seg
+                elif pat != seg:
+                    break
+            else:
+                found_path = True
+                # HEAD is answered by the GET handler minus the body.
+                if method in (route_method, "HEAD"):
+                    return handler, params
+        if found_path:
+            raise HTTPError(405, f"method {method} not allowed")
+        raise HTTPError(404, f"no route for {path}")
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request; ``None`` when the peer closed the connection.
+
+    Raises :class:`HTTPError` (400/413) on malformed input.
+    """
+    try:
+        line = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError):
+        raise HTTPError(400, "request line too long")
+    if not line:
+        return None
+    parts = line.decode("latin-1", "replace").split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise HTTPError(400, "malformed request line")
+    method, target, _version = parts
+    headers: Dict[str, str] = {}
+    for _ in range(_MAX_HEADERS):
+        try:
+            raw = await reader.readline()
+        except (asyncio.LimitOverrunError, ValueError):
+            raise HTTPError(400, "header line too long")
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = raw.decode("latin-1", "replace").partition(":")
+        if not sep:
+            raise HTTPError(400, "malformed header line")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise HTTPError(400, "too many headers")
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        # Reading no body would desync keep-alive framing (the first
+        # chunk-size line would parse as the next request line).
+        raise HTTPError(400, "chunked request bodies are not supported")
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HTTPError(400, "bad Content-Length")
+        if length > _MAX_BODY:
+            raise HTTPError(413, "request body too large")
+        if length:
+            body = await reader.readexactly(length)
+    path, _, qs = target.partition("?")
+    query = dict(parse_qsl(qs, keep_blank_values=True))
+    return Request(method.upper(), unquote(path) or "/", query, headers, body)
+
+
+def _sse_chunk(event: str, data: str) -> bytes:
+    lines = data.splitlines() or [""]
+    frame = f"event: {event}\n" + "".join(f"data: {ln}\n" for ln in lines)
+    return (frame + "\n").encode()
+
+
+class HTTPServer:
+    """The asyncio connection loop around a :class:`Router`."""
+
+    def __init__(
+        self, router: Router, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.router = router
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()
+
+    async def start(self) -> int:
+        """Bind and start accepting; returns the actual port (useful
+        when constructed with the ephemeral port 0)."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            try:
+                await asyncio.wait_for(self._server.wait_closed(), timeout=5)
+            except asyncio.TimeoutError:
+                pass
+            self._server = None
+        # Hang up idle keep-alive peers so their handler tasks finish
+        # before the loop goes away.
+        for writer in list(self._connections):
+            writer.close()
+        for _ in range(100):
+            if not self._connections:
+                break
+            await asyncio.sleep(0.01)
+
+    # ------------------------------------------------------------------
+    async def _respond(self, request: Request):
+        try:
+            handler, params = self.router.match(request.method, request.path)
+            return await handler(request, **params)
+        except HTTPError as exc:
+            return Response.json_(
+                {"error": exc.message, "status": exc.status}, status=exc.status
+            )
+        except Exception:
+            traceback.print_exc(file=sys.stderr)
+            return Response.json_(
+                {"error": "internal server error", "status": 500}, status=500
+            )
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except HTTPError as exc:
+                    writer.write(
+                        Response.json_(
+                            {"error": exc.message, "status": exc.status},
+                            status=exc.status,
+                            headers=[("Connection", "close")],
+                        ).render()
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                response = await self._respond(request)
+                if isinstance(response, EventStreamResponse):
+                    writer.write(
+                        b"HTTP/1.1 200 OK\r\n"
+                        b"Content-Type: text/event-stream\r\n"
+                        b"Cache-Control: no-cache\r\n"
+                        b"Connection: close\r\n\r\n"
+                    )
+                    await writer.drain()
+                    if request.method != "HEAD":
+                        async for event, data in response.events:
+                            writer.write(_sse_chunk(event, data))
+                            await writer.drain()
+                    break
+                writer.write(response.render(head_only=request.method == "HEAD"))
+                await writer.drain()
+                if request.headers.get("connection", "").lower() == "close":
+                    break
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+        ):
+            pass
+        finally:
+            self._connections.discard(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass

@@ -1,0 +1,256 @@
+"""CPU-bound stage execution for the server: bounded executor pools and
+per-key request coalescing.
+
+The event loop must never run a pipeline stage inline — a cold terrain
+build can take seconds.  :class:`StageRunner` pushes builds onto a
+bounded executor and **coalesces** them per logical key: any number of
+concurrent requests for the same cold artifact await one in-flight
+build; only the first actually executes (the single-flight pattern —
+``stats["coalesced"]`` counts the riders).
+
+Two executor modes:
+
+* ``workers == 0`` (default) — a small bounded ``ThreadPoolExecutor``
+  in-process.  Build callables may be closures over live pipeline
+  objects; every build shares the server's :class:`ArtifactCache`
+  directly.  This is the mode tests, benchmarks and single-host
+  deployments use.
+* ``workers > 0`` — a bounded ``ProcessPoolExecutor``.  Builds must be
+  the picklable module-level functions below, which reconstruct
+  pipelines from plain ``spec`` dicts and memoize them **per worker
+  process**; pair with a ``--cache-dir`` so serialized stages (fields,
+  trees, tiles) are shared across workers through the disk tier.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+from ..engine import ArtifactCache
+from ..engine.pipeline import (
+    DatasetSource,
+    EdgeListSource,
+    Pipeline,
+    Source,
+)
+from .lod import LODPyramid
+
+__all__ = [
+    "StageRunner",
+    "pipeline_spec",
+    "spec_key",
+    "source_from_spec",
+    "pyramid_for",
+    "ensure_levels",
+    "build_tile_payload",
+    "build_peaks",
+    "build_hit",
+    "build_treemap_svg",
+    "build_profile_svg",
+]
+
+
+# ----------------------------------------------------------------------
+# Request coalescing over a bounded executor
+# ----------------------------------------------------------------------
+class StageRunner:
+    """Single-flight execution of keyed build jobs.
+
+    ``run(key, fn, *args)`` executes ``fn(*args)`` on the pool — unless
+    a build for ``key`` is already in flight, in which case the caller
+    just awaits that build's future.  Exactly one execution per key at
+    any moment, however many clients hit a cold artifact together.
+    """
+
+    def __init__(self, workers: int = 0, threads: int = 4) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.workers = workers
+        # The thread pool always exists: it runs builds in thread mode
+        # and stateful jobs (SSE replays) in every mode.
+        self.thread_executor = ThreadPoolExecutor(
+            max_workers=threads, thread_name_prefix="repro-serve"
+        )
+        self._executor = (
+            ProcessPoolExecutor(max_workers=workers)
+            if workers > 0
+            else self.thread_executor
+        )
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self.stats: Dict[str, int] = {"builds": 0, "coalesced": 0, "errors": 0}
+
+    @property
+    def uses_processes(self) -> bool:
+        return self.workers > 0
+
+    async def run(self, key: str, fn, *args):
+        """Run ``fn(*args)`` for ``key``, coalescing concurrent callers.
+
+        All bookkeeping happens synchronously between awaits on the
+        (single-threaded) event loop, so no lock is needed: a second
+        request for ``key`` always sees the first one's future.
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.stats["coalesced"] += 1
+            # shield(): a rider hanging up must not cancel the build
+            # other riders (and the cache) are waiting on.
+            return await asyncio.shield(existing)
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._inflight[key] = future
+        self.stats["builds"] += 1
+        try:
+            value = await loop.run_in_executor(self._executor, fn, *args)
+        except BaseException as exc:
+            self.stats["errors"] += 1
+            if not future.done():
+                future.set_exception(exc)
+                future.exception()  # mark retrieved even with no riders
+            raise
+        else:
+            if not future.done():
+                future.set_result(value)
+            return value
+        finally:
+            self._inflight.pop(key, None)
+
+    def shutdown(self) -> None:
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        if self.thread_executor is not self._executor:
+            self.thread_executor.shutdown(wait=False, cancel_futures=True)
+
+
+# ----------------------------------------------------------------------
+# Picklable pipeline specs (process mode)
+# ----------------------------------------------------------------------
+def pipeline_spec(
+    source: Dict[str, str],
+    measure: str,
+    *,
+    bins: Optional[int] = None,
+    scheme: str = "quantile",
+    tile_size: int = 64,
+    levels: int = 3,
+    cache_dir: Optional[str] = None,
+) -> Dict[str, object]:
+    """The plain-dict description a worker process needs to rebuild a
+    pipeline + pyramid: source, measure, display and pyramid params."""
+    return {
+        "source": dict(source),
+        "measure": measure,
+        "bins": bins,
+        "scheme": scheme,
+        "tile_size": tile_size,
+        "levels": levels,
+        "cache_dir": cache_dir,
+    }
+
+
+def spec_key(spec: Dict[str, object]) -> str:
+    return json.dumps(spec, sort_keys=True)
+
+
+def source_from_spec(spec_source: Dict[str, str]) -> Source:
+    kind = spec_source.get("kind")
+    if kind == "dataset":
+        return DatasetSource(spec_source["name"])
+    if kind == "edge_list":
+        return EdgeListSource(spec_source["path"])
+    raise ValueError(f"unknown source spec kind {kind!r}")
+
+
+_MEMO_LOCK = threading.Lock()
+_PYRAMIDS: Dict[str, LODPyramid] = {}
+
+
+def pyramid_for(spec: Dict[str, object]) -> LODPyramid:
+    """Per-process memoized pyramid for ``spec`` (worker-side warmth:
+    once a worker has built a pipeline, later jobs on it are cache
+    hits in that worker's memory tier)."""
+    key = spec_key(spec)
+    with _MEMO_LOCK:
+        pyramid = _PYRAMIDS.get(key)
+        if pyramid is None:
+            pipeline = Pipeline(
+                source_from_spec(spec["source"]),
+                spec["measure"],
+                bins=spec["bins"],
+                scheme=spec["scheme"],
+                cache=ArtifactCache(spec.get("cache_dir")),
+            )
+            pyramid = LODPyramid(
+                pipeline,
+                tile_size=spec["tile_size"],
+                levels=spec["levels"],
+            )
+            _PYRAMIDS[key] = pyramid
+        return pyramid
+
+
+# ----------------------------------------------------------------------
+# Module-level build jobs (picklable for ProcessPoolExecutor)
+# ----------------------------------------------------------------------
+def ensure_levels(spec: Dict[str, object]) -> Dict[str, object]:
+    """Cold-start unit: build every pyramid level; returns its summary."""
+    return pyramid_for(spec).ensure_levels()
+
+
+def build_tile_payload(
+    spec: Dict[str, object], level: int, tx: int, ty: int
+) -> Tuple[bytes, str]:
+    return pyramid_for(spec).tile_payload(level, tx, ty)
+
+
+def peaks_as_dicts(pipeline: Pipeline, count: int) -> List[Dict[str, object]]:
+    """JSON-ready rows for the ``count`` highest disconnected peaks."""
+    unit = "edges" if pipeline.display_tree.kind == "edge" else "vertices"
+    return [
+        {
+            "node": int(peak.node),
+            "alpha": float(peak.alpha),
+            "summit": float(peak.summit),
+            "prominence": float(peak.prominence),
+            "size": int(peak.size),
+            "unit": unit,
+            "base_area": float(peak.base_area),
+        }
+        for peak in pipeline.peaks(count=count)
+    ]
+
+
+def build_peaks(spec: Dict[str, object], count: int) -> List[Dict[str, object]]:
+    return peaks_as_dicts(pyramid_for(spec).pipeline, count)
+
+
+def hit_as_dict(pipeline: Pipeline, x: float, y: float) -> Dict[str, object]:
+    """JSON-ready hover hit-test at layout coordinates ``(x, y)``."""
+    layout = pipeline.layout()
+    node = layout.node_at(x, y)
+    if node is None:
+        return {"node": None}
+    tree = pipeline.display_tree
+    return {
+        "node": int(node),
+        "alpha": float(tree.scalars[node]),
+        "size": int(tree.subtree_size(node)),
+        "kind": tree.kind,
+        "center": [float(layout.cx[node]), float(layout.cy[node])],
+        "radius": float(layout.r[node]),
+    }
+
+
+def build_hit(spec: Dict[str, object], x: float, y: float) -> Dict[str, object]:
+    return hit_as_dict(pyramid_for(spec).pipeline, x, y)
+
+
+def build_treemap_svg(spec: Dict[str, object], size: int) -> str:
+    return pyramid_for(spec).pipeline.treemap(size=size)
+
+
+def build_profile_svg(spec: Dict[str, object], width: int, height: int) -> str:
+    return pyramid_for(spec).pipeline.profile(width=width, height=height)

@@ -7,7 +7,7 @@ from .colormap import (
     rgb_to_hex,
     role_colors,
 )
-from .heightfield import Heightfield, rasterize
+from .heightfield import Heightfield, Tile, rasterize
 from .layout2d import TerrainLayout, layout_tree
 from .mesh import TerrainMesh, build_mesh
 from .export import export_obj, export_svg3d, orbit_frames
@@ -29,6 +29,7 @@ __all__ = [
     "TerrainLayout",
     "layout_tree",
     "Heightfield",
+    "Tile",
     "rasterize",
     "TerrainMesh",
     "build_mesh",

@@ -7,17 +7,29 @@ are the resulting height discontinuities.  A regular-grid sampling of
 this function is simple to build (paint discs parents-first), trivially
 correct, and feeds both the 3D renderer and image-space analyses
 (peak saliency in the user-study simulator).
+
+For serving (:mod:`repro.serve`) a heightfield is additionally sliced
+into fixed-size :class:`Tile` blocks and downsampled into coarser
+level-of-detail copies: :meth:`Heightfield.downsample` halves the
+resolution with peak-preserving 2×2 max-pooling, :meth:`Heightfield.crop`
+cuts an axis-aligned sub-grid with a correctly remapped extent, and
+:meth:`Tile.to_bytes` / :meth:`Tile.from_bytes` give tiles a compact
+binary wire form.
 """
 
 from __future__ import annotations
 
+import json
+import struct
 from typing import Optional, Tuple
 
 import numpy as np
 
 from .layout2d import TerrainLayout
 
-__all__ = ["Heightfield", "rasterize"]
+__all__ = ["Heightfield", "Tile", "rasterize"]
+
+_TILE_MAGIC = b"RPTILE1\n"
 
 
 class Heightfield:
@@ -71,6 +83,175 @@ class Heightfield:
         j = int((x - xmin) / (xmax - xmin) * res)
         i = int((y - ymin) / (ymax - ymin) * res)
         return min(max(i, 0), res - 1), min(max(j, 0), res - 1)
+
+    def downsample(self) -> "Heightfield":
+        """Half-resolution copy via 2×2 max-pooling.
+
+        Each coarse cell takes the *highest* of its four fine cells (and
+        that cell's node id), so peaks survive every level of an LOD
+        pyramid — a mean would erode exactly the summits the terrain
+        metaphor is built to show.  Ties break to the first cell in row-
+        major scan order, making the result deterministic.
+        """
+        res = self.resolution
+        if res % 2 != 0 or res < 2:
+            raise ValueError(
+                f"downsample needs an even resolution, got {res}"
+            )
+        half = res // 2
+        blocks_h = (
+            self.height.reshape(half, 2, half, 2)
+            .transpose(0, 2, 1, 3)
+            .reshape(half, half, 4)
+        )
+        blocks_n = (
+            self.node.reshape(half, 2, half, 2)
+            .transpose(0, 2, 1, 3)
+            .reshape(half, half, 4)
+        )
+        pick = blocks_h.argmax(axis=2)[..., None]
+        height = np.take_along_axis(blocks_h, pick, axis=2)[..., 0]
+        node = np.take_along_axis(blocks_n, pick, axis=2)[..., 0]
+        return Heightfield(height, node, self.extent, self.base)
+
+    def crop(self, i0: int, j0: int, rows: int, cols: int) -> "Heightfield":
+        """The ``rows × cols`` sub-grid starting at cell ``(i0, j0)``,
+        with the extent remapped so world/grid round-trips stay exact.
+        """
+        res_i, res_j = self.height.shape
+        if rows < 1 or cols < 1:
+            raise ValueError("crop size must be at least 1x1")
+        if i0 < 0 or j0 < 0 or i0 + rows > res_i or j0 + cols > res_j:
+            raise ValueError(
+                f"crop [{i0}:{i0 + rows}, {j0}:{j0 + cols}] outside "
+                f"a {res_i}x{res_j} heightfield"
+            )
+        xmin, ymin, xmax, ymax = self.extent
+        dx = (xmax - xmin) / res_j
+        dy = (ymax - ymin) / res_i
+        extent = (
+            xmin + j0 * dx,
+            ymin + i0 * dy,
+            xmin + (j0 + cols) * dx,
+            ymin + (i0 + rows) * dy,
+        )
+        return Heightfield(
+            self.height[i0: i0 + rows, j0: j0 + cols].copy(),
+            self.node[i0: i0 + rows, j0: j0 + cols].copy(),
+            extent,
+            self.base,
+        )
+
+
+class Tile:
+    """One fixed-size block of an LOD level: ``(level, tx, ty)``.
+
+    ``height`` and ``node`` are the block's slices of the level's
+    heightfield; ``extent`` is the block's world rectangle and ``base``
+    the ground-plane height (both needed to reassemble or hit-test a
+    tile on its own).  The wire form (:meth:`to_bytes`) is a small JSON
+    header plus the raw little-endian array bytes — compact enough to
+    serve directly and stable enough to content-hash for ETags.
+    """
+
+    __slots__ = ("level", "tx", "ty", "height", "node", "extent", "base")
+
+    def __init__(
+        self,
+        level: int,
+        tx: int,
+        ty: int,
+        height: np.ndarray,
+        node: np.ndarray,
+        extent: Tuple[float, float, float, float],
+        base: float,
+    ) -> None:
+        self.level = int(level)
+        self.tx = int(tx)
+        self.ty = int(ty)
+        self.height = np.ascontiguousarray(height, dtype=np.float64)
+        self.node = np.ascontiguousarray(node, dtype=np.int64)
+        if self.height.shape != self.node.shape or self.height.ndim != 2:
+            raise ValueError("tile height/node must be equal-shape 2D grids")
+        self.extent = tuple(float(v) for v in extent)
+        self.base = float(base)
+
+    @property
+    def size(self) -> int:
+        return self.height.shape[0]
+
+    def heightfield(self) -> Heightfield:
+        """The tile as a standalone :class:`Heightfield`."""
+        return Heightfield(self.height, self.node, self.extent, self.base)
+
+    def to_bytes(self) -> bytes:
+        """Binary envelope: magic, header length, JSON header, raw arrays."""
+        header = json.dumps(
+            {
+                "level": self.level,
+                "tx": self.tx,
+                "ty": self.ty,
+                "shape": list(self.height.shape),
+                "extent": list(self.extent),
+                "base": self.base,
+            },
+            sort_keys=True,
+        ).encode()
+        return b"".join(
+            (
+                _TILE_MAGIC,
+                struct.pack("<I", len(header)),
+                header,
+                self.height.astype("<f8").tobytes(),
+                self.node.astype("<i8").tobytes(),
+            )
+        )
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "Tile":
+        """Inverse of :meth:`to_bytes`."""
+        magic_len = len(_TILE_MAGIC)
+        if payload[:magic_len] != _TILE_MAGIC:
+            raise ValueError("not a repro tile payload (bad magic)")
+        (header_len,) = struct.unpack_from("<I", payload, magic_len)
+        body = magic_len + 4
+        doc = json.loads(payload[body: body + header_len].decode())
+        rows, cols = doc["shape"]
+        cells = rows * cols
+        data = body + header_len
+        expect = data + cells * 16
+        if len(payload) != expect:
+            raise ValueError(
+                f"truncated tile payload: {len(payload)} bytes, "
+                f"expected {expect}"
+            )
+        height = np.frombuffer(
+            payload, dtype="<f8", count=cells, offset=data
+        ).reshape(rows, cols)
+        node = np.frombuffer(
+            payload, dtype="<i8", count=cells, offset=data + cells * 8
+        ).reshape(rows, cols)
+        return cls(
+            doc["level"], doc["tx"], doc["ty"],
+            height, node, tuple(doc["extent"]), doc["base"],
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Tile):
+            return NotImplemented
+        return (
+            (self.level, self.tx, self.ty) == (other.level, other.tx, other.ty)
+            and self.extent == other.extent
+            and self.base == other.base
+            and np.array_equal(self.height, other.height)
+            and np.array_equal(self.node, other.node)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Tile(level={self.level}, tx={self.tx}, ty={self.ty}, "
+            f"size={self.size})"
+        )
 
 
 def rasterize(layout: TerrainLayout, resolution: int = 160) -> Heightfield:

@@ -1,0 +1,86 @@
+"""Shared fixtures for the terrain server tests: a small two-mountain
+graph, an app over it, and a live server on an ephemeral port."""
+
+import http.client
+import json
+
+import pytest
+
+from repro.graph import from_edges
+from repro.graph.io import write_edge_list
+from repro.serve import ServeApp, ServerThread, StreamSession
+from repro.stream import AddEdge, SetScalar, write_edit_log
+
+
+def toy_graph():
+    """K6 (a 5-core) plus a tail — two peaks at very different heights."""
+    return from_edges(
+        [(i, j) for i in range(6) for j in range(i + 1, 6)]
+        + [(5, 6), (6, 7), (7, 8)]
+    )
+
+
+@pytest.fixture(scope="module")
+def edge_list_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("serve") / "toy.txt"
+    write_edge_list(toy_graph(), path)
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def edit_log_file(tmp_path_factory, edge_list_file):
+    return str(write_edit_log(
+        tmp_path_factory.mktemp("serve-log") / "edits.jsonl",
+        [
+            [SetScalar(8, 4.0)],
+            [AddEdge(0, 8)],
+        ],
+        times=[1.0, 2.0],
+    ))
+
+
+@pytest.fixture(scope="module")
+def app(edge_list_file, edit_log_file):
+    app = ServeApp(tile_size=16, levels=3)
+    app.add_dataset("toy", ["kcore", "degree"], edge_list=edge_list_file)
+    app.add_stream_session(StreamSession(
+        "replay",
+        {"kind": "edge_list", "path": edge_list_file},
+        "kcore",
+        edit_log_file,
+        tile_size=16,
+        levels=2,
+    ))
+    return app
+
+
+@pytest.fixture(scope="module")
+def server(app):
+    with ServerThread(app) as running:
+        yield running
+
+
+class Client:
+    """Tiny convenience wrapper over ``http.client`` for assertions."""
+
+    def __init__(self, port):
+        self.port = port
+
+    def get(self, url, headers=None):
+        conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=60)
+        try:
+            conn.request("GET", url, headers=headers or {})
+            response = conn.getresponse()
+            body = response.read()
+            return response.status, dict(response.getheaders()), body
+        finally:
+            conn.close()
+
+    def get_json(self, url):
+        status, headers, body = self.get(url)
+        return status, json.loads(body)
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return Client(server.port)

@@ -1,0 +1,240 @@
+"""End-to-end endpoint tests against a live server on a real socket."""
+
+import http.client
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine import Pipeline
+from repro.serve.workers import source_from_spec
+from repro.terrain.heightfield import Tile
+
+
+class TestMetaEndpoints:
+    def test_index_lists_endpoints(self, client):
+        status, doc = client.get_json("/")
+        assert status == 200
+        assert doc["service"] == "repro.serve"
+        assert any(e.startswith("/t/") for e in doc["endpoints"])
+
+    def test_healthz(self, client):
+        assert client.get_json("/healthz") == (200, {"ok": True})
+
+    def test_datasets(self, client):
+        status, doc = client.get_json("/datasets")
+        assert status == 200
+        (toy,) = [d for d in doc["datasets"] if d["name"] == "toy"]
+        assert toy["measures"] == ["kcore", "degree"]
+        assert toy["tile_size"] == 16
+        assert toy["tiles_per_side"] == [4, 2, 1]
+        assert doc["sessions"] == ["replay"]
+
+    def test_stats(self, client):
+        status, doc = client.get_json("/stats")
+        assert status == 200
+        assert "cache" in doc and "runner" in doc
+        assert doc["runner"]["workers"] == 0
+
+    def test_unknown_route_404(self, client):
+        status, doc = client.get_json("/nonsense")
+        assert status == 404
+
+
+class TestTiles:
+    def test_tile_roundtrip_and_assembly(self, client, app):
+        """Fetched tiles parse and stitch to the pipeline's heightfield."""
+        entry = app.datasets["toy"]
+        pipeline = Pipeline(
+            source_from_spec(entry.source), "kcore", cache=app.cache
+        )
+        full = pipeline.heightfield(64)  # tile_size 16 * 2**(3-1) levels
+        assembled = np.empty((64, 64))
+        for ty in range(4):
+            for tx in range(4):
+                status, headers, body = client.get(
+                    f"/t/toy/kcore/0/{tx}/{ty}"
+                )
+                assert status == 200
+                assert headers["Content-Type"] == "application/x-repro-tile"
+                tile = Tile.from_bytes(body)
+                assert (tile.tx, tile.ty, tile.level) == (tx, ty, 0)
+                assembled[
+                    ty * 16:(ty + 1) * 16, tx * 16:(tx + 1) * 16
+                ] = tile.height
+        assert np.array_equal(assembled, full.height)
+
+    def test_etag_and_304(self, client):
+        status, headers, body = client.get("/t/toy/kcore/1/0/1")
+        assert status == 200
+        etag = headers["ETag"]
+        assert etag.startswith('"')
+        status2, headers2, body2 = client.get(
+            "/t/toy/kcore/1/0/1", headers={"If-None-Match": etag}
+        )
+        assert status2 == 304
+        assert body2 == b""
+        assert headers2["ETag"] == etag
+        # A non-matching validator still gets the representation.
+        status3, _, body3 = client.get(
+            "/t/toy/kcore/1/0/1", headers={"If-None-Match": '"stale"'}
+        )
+        assert status3 == 200 and body3 == body
+
+    def test_warm_tiles_do_zero_pipeline_work(self, client):
+        client.get("/t/toy/kcore/2/0/0")
+        _, before = client.get_json("/stats")
+        for _ in range(5):
+            status, _, _ = client.get("/t/toy/kcore/2/0/0")
+            assert status == 200
+        _, after = client.get_json("/stats")
+        assert after["cache"]["misses"] == before["cache"]["misses"]
+        assert after["runner"]["builds"] == before["runner"]["builds"]
+
+    def test_out_of_range_tile_404(self, client):
+        for url in (
+            "/t/toy/kcore/3/0/0",      # level beyond pyramid
+            "/t/toy/kcore/0/4/0",      # tx beyond grid
+            "/t/toy/kcore/0/0/-1",
+            "/t/nope/kcore/0/0/0",     # unknown dataset
+            "/t/toy/ktruss/0/0/0",     # unserved measure
+        ):
+            status, _, _ = client.get(url)
+            assert status == 404, url
+
+    def test_non_integer_coords_400(self, client):
+        status, _, _ = client.get("/t/toy/kcore/zero/0/0")
+        assert status == 400
+
+
+class TestQueries:
+    def test_peaks_match_pipeline(self, client, app):
+        status, doc = client.get_json(
+            "/peaks?dataset=toy&measure=kcore&count=2"
+        )
+        assert status == 200
+        assert doc["peaks"][0]["alpha"] == 5.0  # K6 is a 5-core
+        assert doc["peaks"][0]["size"] == 6
+        assert doc["peaks"][0]["unit"] == "vertices"
+
+    def test_hit_center_is_densest_core(self, client):
+        status, doc = client.get_json(
+            "/hit?dataset=toy&measure=kcore&x=0&y=0"
+        )
+        assert status == 200
+        assert doc["node"] is not None
+        assert doc["alpha"] == 5.0
+
+    def test_hit_outside_everything(self, client):
+        status, doc = client.get_json(
+            "/hit?dataset=toy&measure=kcore&x=999&y=999"
+        )
+        assert status == 200
+        assert doc["node"] is None
+
+    def test_hit_requires_coordinates(self, client):
+        status, doc = client.get_json("/hit?dataset=toy&measure=kcore")
+        assert status == 400
+
+    def test_svg_displays(self, client):
+        for url in (
+            "/treemap.svg?dataset=toy&measure=kcore",
+            "/profile.svg?dataset=toy&measure=kcore&width=300&height=120",
+        ):
+            status, headers, body = client.get(url)
+            assert status == 200, url
+            assert headers["Content-Type"] == "image/svg+xml"
+            assert body.startswith(b"<svg")
+
+    def test_unknown_dataset_404(self, client):
+        status, _ = client.get_json("/peaks?dataset=ghost&measure=kcore")
+        assert status == 404
+
+    def test_missing_params_400(self, client):
+        status, _ = client.get_json("/peaks")
+        assert status == 400
+
+    def test_second_measure_served(self, client):
+        status, doc = client.get_json(
+            "/peaks?dataset=toy&measure=degree&count=1"
+        )
+        assert status == 200
+        assert doc["measure"] == "degree"
+
+
+def read_sse(port, url, timeout=120):
+    """Collect the full SSE stream as a list of (event, json) pairs."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        conn.request("GET", url)
+        response = conn.getresponse()
+        assert response.status == 200
+        assert response.getheader("Content-Type") == "text/event-stream"
+        events = []
+        event, data = None, []
+        for raw in response.read().decode().splitlines():
+            if raw.startswith("event: "):
+                event = raw[len("event: "):]
+            elif raw.startswith("data: "):
+                data.append(raw[len("data: "):])
+            elif not raw and event is not None:
+                events.append((event, json.loads("\n".join(data))))
+                event, data = None, []
+        return events
+    finally:
+        conn.close()
+
+
+class TestStream:
+    def test_replay_pushes_frames_and_invalidations(self, server):
+        events = read_sse(server.port, "/stream/replay")
+        names = [name for name, _ in events]
+        assert names[0] == "hello"
+        assert names[-1] == "done"
+        assert names.count("frame") == 2
+        hello = events[0][1]
+        assert hello["batches"] == 2
+        assert hello["base_resolution"] == 32
+        frames = [doc for name, doc in events if name == "frame"]
+        assert [f["batch"] for f in frames] == [0, 1]
+        assert frames[0]["edits"] == 1
+        # Raising vertex 8's scalar to a new summit must dirty tiles.
+        invalidations = [doc for name, doc in events if name == "invalidate"]
+        assert invalidations, "scalar change produced no invalidations"
+        level_zero = [
+            t for doc in invalidations for t in doc["tiles"] if t[0] == 0
+        ]
+        assert level_zero
+        assert all(
+            0 <= tx < 2 and 0 <= ty < 2 for _, tx, ty in level_zero
+        )
+
+    def test_unknown_session_404(self, client):
+        status, _ = client.get_json("/stream/ghost")
+        assert status == 404
+
+
+class TestPayloadMemoBound:
+    def test_lru_bounded_by_cache_budget(self):
+        from repro.engine import ArtifactCache
+        from repro.serve import ServeApp
+
+        app = ServeApp(cache=ArtifactCache(max_memory_bytes=2048))
+        app._payload_put("a", (b"x" * 1024, '"a"'))
+        app._payload_put("b", (b"y" * 1024, '"b"'))
+        app._payload_get("a")                      # refresh: b is LRU
+        app._payload_put("c", (b"z" * 1024, '"c"'))
+        assert app._payload_get("b") is None
+        assert app._payload_get("a") is not None
+        assert app._payload_get("c") is not None
+        assert app._payload_bytes <= 2048
+        app.runner.shutdown()
+
+    def test_unbounded_without_budget(self):
+        from repro.serve import ServeApp
+
+        app = ServeApp()
+        for i in range(50):
+            app._payload_put(f"k{i}", (b"x" * 1024, f'"{i}"'))
+        assert len(app._payloads) == 50
+        app.runner.shutdown()

@@ -1,0 +1,137 @@
+"""Unit tests for the hand-rolled HTTP layer (no sockets)."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.http import (
+    HTTPError,
+    Request,
+    Response,
+    Router,
+    _read_request,
+)
+
+
+def parse(raw: bytes) -> Request:
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await _read_request(reader)
+
+    return asyncio.run(run())
+
+
+class TestParsing:
+    def test_request_line_and_query(self):
+        request = parse(b"GET /t/a%20b/c?x=1&y=-2.5&empty= HTTP/1.1\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/t/a b/c"
+        assert request.query == {"x": "1", "y": "-2.5", "empty": ""}
+
+    def test_headers_lowercased(self):
+        request = parse(
+            b"GET / HTTP/1.1\r\nIf-None-Match: \"abc\"\r\n"
+            b"Connection: Close\r\n\r\n"
+        )
+        assert request.headers["if-none-match"] == '"abc"'
+        assert request.if_none_match() == ['"abc"']
+
+    def test_if_none_match_list(self):
+        request = parse(
+            b'GET / HTTP/1.1\r\nIf-None-Match: "a", "b"\r\n\r\n'
+        )
+        assert request.if_none_match() == ['"a"', '"b"']
+
+    def test_body_by_content_length(self):
+        request = parse(
+            b"POST /x HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd"
+        )
+        assert request.body == b"abcd"
+
+    def test_closed_connection_is_none(self):
+        assert parse(b"") is None
+
+    def test_malformed_request_line(self):
+        with pytest.raises(HTTPError) as exc:
+            parse(b"NONSENSE\r\n\r\n")
+        assert exc.value.status == 400
+
+    def test_bad_content_length(self):
+        with pytest.raises(HTTPError):
+            parse(b"GET / HTTP/1.1\r\nContent-Length: ten\r\n\r\n")
+
+
+class TestQueryHelpers:
+    def request(self, **query):
+        return Request("GET", "/", {k: str(v) for k, v in query.items()}, {})
+
+    def test_int_parsing_and_bounds(self):
+        assert self.request(n=5).query_int("n", default=1) == 5
+        assert self.request().query_int("n", default=7) == 7
+        with pytest.raises(HTTPError):
+            self.request(n="x").query_int("n", default=1)
+        with pytest.raises(HTTPError):
+            self.request(n=99).query_int("n", default=1, hi=10)
+
+    def test_float_and_required(self):
+        assert self.request(x="2.5").query_float("x") == 2.5
+        with pytest.raises(HTTPError):
+            self.request().query_float("x")
+        with pytest.raises(HTTPError):
+            self.request(x="nope").query_float("x")
+
+
+class TestResponse:
+    def test_render_includes_length_and_type(self):
+        raw = Response.json_({"a": 1}).render()
+        assert raw.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Type: application/json" in raw
+        assert raw.endswith(b'{"a": 1}')
+
+    def test_head_only_omits_body(self):
+        response = Response.text("hello")
+        head = response.render(head_only=True)
+        assert b"Content-Length: 5" in head
+        assert not head.endswith(b"hello")
+
+    def test_304_has_no_content_type(self):
+        raw = Response(304, b"", headers=[("ETag", '"x"')]).render()
+        assert b"304 Not Modified" in raw
+        assert b"Content-Type" not in raw
+
+
+class TestRouter:
+    def handler(self, name):
+        async def _h(request, **params):
+            return name, params
+
+        return _h
+
+    def test_static_and_captures(self):
+        router = Router()
+        router.get("/datasets", self.handler("datasets"))
+        router.get("/t/{ds}/{m}/{level}/{tx}/{ty}", self.handler("tile"))
+        handler, params = router.match("GET", "/t/toy/kcore/0/1/2")
+        assert params == {
+            "ds": "toy", "m": "kcore", "level": "0", "tx": "1", "ty": "2",
+        }
+        handler, params = router.match("GET", "/datasets")
+        assert params == {}
+
+    def test_head_maps_to_get(self):
+        router = Router()
+        router.get("/x", self.handler("x"))
+        handler, _ = router.match("HEAD", "/x")
+        assert handler is not None
+
+    def test_404_and_405(self):
+        router = Router()
+        router.get("/only", self.handler("only"))
+        with pytest.raises(HTTPError) as exc:
+            router.match("GET", "/missing")
+        assert exc.value.status == 404
+        with pytest.raises(HTTPError) as exc:
+            router.match("PUT", "/only")
+        assert exc.value.status == 405

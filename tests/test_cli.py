@@ -29,6 +29,83 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert out.split()[1][0].isdigit()  # "repro X.Y.Z"
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8321
+        assert args.datasets == "grqc"
+        assert args.measures == "kcore"
+        assert args.workers == 0
+        assert args.tile_size == 64
+        assert args.levels == 3
+        assert args.cache_memory_mb is None
+
+    def test_help_mentions_key_flags(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        for flag in (
+            "--host", "--port", "--datasets", "--measures", "--workers",
+            "--cache-dir", "--tile-size", "--levels", "--stream-log",
+        ):
+            assert flag in out
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit, match="unknown dataset"):
+            main(["serve", "--datasets", "atlantis"])
+
+    def test_unknown_measure_rejected(self):
+        with pytest.raises(SystemExit, match="--measures"):
+            main(["serve", "--measures", "nonsense"])
+
+    def test_bad_edge_list_spec_rejected(self):
+        with pytest.raises(SystemExit, match="NAME=PATH"):
+            main(["serve", "--edge-list", "justapath.txt"])
+
+    def test_missing_edge_list_rejected(self):
+        with pytest.raises(SystemExit, match="edge list not found"):
+            main(["serve", "--edge-list", "toy=/does/not/exist.txt"])
+
+    def test_bad_stream_log_spec_rejected(self, edge_list_file):
+        with pytest.raises(SystemExit, match="NAME=DATASET:MEASURE"):
+            main([
+                "serve", "--edge-list", f"toy={edge_list_file}",
+                "--stream-log", "broken",
+            ])
+
+    def test_stream_log_unserved_dataset_rejected(self, edge_list_file):
+        with pytest.raises(SystemExit, match="is not served"):
+            main([
+                "serve", "--edge-list", f"toy={edge_list_file}",
+                "--stream-log", "s=ghost:kcore:/tmp/x.jsonl",
+            ])
+
+    def test_negative_cache_memory_rejected(self):
+        with pytest.raises(SystemExit, match="cache-memory-mb"):
+            main(["serve", "--cache-memory-mb", "-5"])
+
+    def test_bad_pyramid_flags_rejected_at_boot(self):
+        with pytest.raises(SystemExit, match="--tile-size"):
+            main(["serve", "--tile-size", "9"])
+        with pytest.raises(SystemExit, match="--tile-size"):
+            main(["serve", "--tile-size", "4"])
+        with pytest.raises(SystemExit, match="--levels"):
+            main(["serve", "--levels", "0"])
+        with pytest.raises(SystemExit, match="--workers"):
+            main(["serve", "--workers", "-1"])
+
 
 class TestTerrainCommand:
     def test_renders_from_edge_list(self, edge_list_file, tmp_path):
