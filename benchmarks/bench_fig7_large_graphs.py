@@ -6,13 +6,18 @@ the four terrains plus the drill-downs of Figs 7(e)/(f): the densest
 K-truss and densest K-core extracted from the top peak.
 """
 
+import os
+
 import numpy as np
 
+from repro.accel.geometry import relax_siblings_naive, relax_siblings_vector
 from repro.graph import datasets
 from repro.terrain import highest_peaks, layout_tree, render_terrain
 from repro.baselines import draw_graph_svg, spring_layout
 
-from conftest import OUT_DIR
+from conftest import OUT_DIR, best_of
+
+_TINY = os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0")
 
 
 def test_fig7_terrains(benchmark, report, kcore_super_tree, ktruss_super_tree):
@@ -39,6 +44,59 @@ def test_fig7_terrains(benchmark, report, kcore_super_tree, ktruss_super_tree):
             f"({top.size} {unit})"
         )
     report("fig7_large_graphs", "\n".join(lines))
+
+
+def test_accel_layout_relax_speedup(report, report_json):
+    """Vector vs naive sibling relaxation at ≥1e3 siblings.
+
+    The floor this PR establishes: the broadcast relaxation kernel must
+    run a sweep over 1e3+ siblings ≥3× faster than the reference
+    nested-pair loop (large-graph terrains put this many leaves under
+    one plateau node), while staying byte-identical.  Tiny mode keeps
+    the equivalence check, skips the timing assertion.
+    """
+    k, iters = (64, 2) if _TINY else (1_200, 4)
+    rng = np.random.default_rng(3)
+    rr = np.sqrt(rng.uniform(0.0, 1.0, k)) * 0.9
+    ang = rng.uniform(0.0, 2 * np.pi, k)
+    xs = rr * np.cos(ang)
+    ys = rr * np.sin(ang)
+    radii = rng.uniform(0.01, 0.04, k)
+
+    nx, ny = relax_siblings_naive(xs, ys, radii, 0.0, 0.0, 1.0, iters)
+    vx, vy = relax_siblings_vector(xs, ys, radii, 0.0, 0.0, 1.0, iters)
+    assert np.array_equal(nx, vx) and np.array_equal(ny, vy)
+
+    t_naive = best_of(
+        lambda: relax_siblings_naive(xs, ys, radii, 0.0, 0.0, 1.0, iters),
+        rounds=2,
+    )
+    t_vector = best_of(
+        lambda: relax_siblings_vector(xs, ys, radii, 0.0, 0.0, 1.0, iters),
+        rounds=3,
+    )
+    speedup = t_naive / t_vector
+    report(
+        "accel_layout_relax_speedup",
+        f"sibling relaxation, k={k} discs, {iters} sweeps:\n"
+        f"  naive  {t_naive * 1e3:8.1f} ms\n"
+        f"  vector {t_vector * 1e3:8.1f} ms   ({speedup:.1f}x)",
+    )
+    report_json("accel_layout_relax_speedup", {
+        "bench": "layout_relax",
+        "siblings": k,
+        "iters": iters,
+        "naive_s": t_naive,
+        "vector_s": t_vector,
+        "speedup": speedup,
+        "floor": 3.0,
+        "asserted": not _TINY,
+    })
+    if not _TINY:
+        assert speedup >= 3.0, (
+            f"vector relaxation only {speedup:.2f}x faster than naive at "
+            f"{k} siblings (floor: 3x)"
+        )
 
 
 def test_fig7e_densest_truss_detail(benchmark, report, ktruss_super_tree):

@@ -8,6 +8,8 @@ the paper.
 
 from __future__ import annotations
 
+import json
+import time
 from pathlib import Path
 
 import numpy as np
@@ -36,6 +38,33 @@ def report():
         print(f"\n===== {name} =====\n{text}\n")
 
     return write
+
+
+@pytest.fixture(scope="session")
+def report_json():
+    """Writer: report_json(name, payload) → benchmarks/out/name.json.
+
+    Machine-readable sidecar to ``report`` — ``scripts/bench_all.py``
+    consolidates every ``accel_*.json`` into the PR-level
+    ``BENCH_PR4.json`` speedup ledger.
+    """
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, payload: dict) -> None:
+        path = OUT_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    return write
+
+
+def best_of(fn, rounds: int = 3) -> float:
+    """Minimum wall time of ``rounds`` calls (noise-robust timing)."""
+    times = []
+    for __ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Run every benchmark file and consolidate a PR-level perf ledger.
+
+Each ``benchmarks/bench_*.py`` runs in its own pytest process (so one
+bench's failure or import problem can't sink the rest) with the caller's
+environment — set ``REPRO_BENCH_TINY=1`` for CI-smoke sizes and
+``REPRO_ACCEL`` to pin a kernel backend.  Results land in
+``BENCH_PR4.json``:
+
+* ``benches`` — per-file wall time and exit status;
+* ``speedups`` — the vector-vs-naive kernel speedups the accel
+  benchmarks measured (merged from ``benchmarks/out/accel_*.json``);
+* ``env`` — the knobs that shaped the run.
+
+Future PRs diff this file against their own run to keep a perf
+trajectory.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_all.py              # everything
+    PYTHONPATH=src python scripts/bench_all.py --only accel # filter
+    REPRO_BENCH_TINY=1 python scripts/bench_all.py          # smoke sizes
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+OUT_DIR = BENCH_DIR / "out"
+
+
+def run_bench(path: Path, pytest_args: list) -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH") else src
+    )
+    t0 = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-q", str(path)] + pytest_args,
+        cwd=str(REPO_ROOT),
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+    )
+    seconds = time.perf_counter() - t0
+    tail = proc.stdout.decode(errors="replace").strip().splitlines()[-1:]
+    return {
+        "seconds": round(seconds, 3),
+        "exit_code": proc.returncode,
+        "summary": tail[0] if tail else "",
+    }
+
+
+def collect_speedups(not_before: float) -> dict:
+    """Speedup sidecars written by *this* run (mtime filter keeps stale
+    numbers from earlier runs — different env, different filters — out
+    of the ledger)."""
+    speedups = {}
+    for path in sorted(OUT_DIR.glob("accel_*.json")):
+        if path.stat().st_mtime < not_before:
+            continue
+        try:
+            speedups[path.stem] = json.loads(path.read_text())
+        except ValueError:
+            speedups[path.stem] = {"error": "unparseable sidecar"}
+    return speedups
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--only", default=None, metavar="SUBSTRING",
+        help="run only bench files whose name contains SUBSTRING",
+    )
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_PR4.json"),
+        help="consolidated ledger path (default: %(default)s)",
+    )
+    parser.add_argument(
+        "pytest_args", nargs="*",
+        help="extra arguments passed through to each pytest run",
+    )
+    args = parser.parse_args(argv)
+
+    files = sorted(BENCH_DIR.glob("bench_*.py"))
+    if args.only:
+        files = [f for f in files if args.only in f.name]
+    if not files:
+        print("no benchmark files matched", file=sys.stderr)
+        return 2
+
+    started = time.time()
+    benches = {}
+    failed = []
+    for path in files:
+        print(f"[bench_all] {path.name} ...", flush=True)
+        result = run_bench(path, args.pytest_args)
+        benches[path.name] = result
+        status = "ok" if result["exit_code"] == 0 else "FAIL"
+        print(
+            f"[bench_all] {path.name}: {status} in {result['seconds']:.1f}s "
+            f"({result['summary']})",
+            flush=True,
+        )
+        if result["exit_code"] != 0:
+            failed.append(path.name)
+
+    ledger = {
+        "benches": benches,
+        "speedups": collect_speedups(not_before=started - 1.0),
+        "env": {
+            "tiny": os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0"),
+            "accel": os.environ.get("REPRO_ACCEL", "auto") or "auto",
+            "python": sys.version.split()[0],
+        },
+        "total_seconds": round(sum(b["seconds"] for b in benches.values()), 3),
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(ledger, indent=2, sort_keys=True) + "\n")
+    print(f"[bench_all] wrote {output} ({len(benches)} benches)")
+    if failed:
+        print(f"[bench_all] failures: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

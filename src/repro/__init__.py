@@ -59,6 +59,12 @@ Subpackages
     artifacts, with peak/hit-test/treemap/profile endpoints, per-key
     request coalescing over a bounded worker pool, and SSE replay of
     edit logs with dirty-tile invalidations.
+``repro.accel``
+    Vectorized compute kernels for the hot stages — tree construction,
+    traversal measures, k-core/k-truss peeling, layout relaxation,
+    rasterization — equivalence-tested to produce the same arrays as
+    the naive reference code, selected via ``repro --accel``, the
+    ``REPRO_ACCEL`` environment variable or per call.
 """
 
 from .core import (

@@ -1,0 +1,122 @@
+"""repro.accel — vectorized compute kernels with naive-identical semantics.
+
+Every hot stage of the pipeline (tree construction, traversal-based
+measures, layout relaxation, heightfield rasterization) has two
+implementations: the *naive* reference code that lives next to the
+algorithm it implements, and a numpy-vectorized *kernel* in this
+package.  The contract is strict: for any input, both backends produce
+the **same arrays** — identical ``parent`` pointers, identical integer
+measure vectors, identical layouts and heightfields (float centrality
+accumulations agree to 1e-9; everything else is byte-identical).  The
+property suite in ``tests/accel/`` enforces this, so the backends are
+interchangeable mid-pipeline and share one cache identity (an
+:class:`~repro.engine.cache.ArtifactCache` hit bypasses both).
+
+Backend selection is a process-global setting:
+
+* ``auto`` (default) — per call site, pick the vector kernel once the
+  input crosses a small size threshold, else stay naive (tiny inputs
+  don't amortize the numpy dispatch overhead);
+* ``naive`` — always the pure-Python reference path;
+* ``vector`` — always the numpy kernels.
+
+Configure it with :func:`set_backend`, the ``REPRO_ACCEL`` environment
+variable, or ``repro --accel {auto,naive,vector}`` on any CLI
+subcommand.  Library calls can override per invocation via their
+``backend=`` keyword, and tests can scope a choice with :func:`using`.
+
+Kernels are deliberately *flat*: they take plain numpy arrays
+(``indptr``/``indices`` CSR pairs, edge arrays, rank permutations) and
+return plain arrays, importing nothing from :mod:`repro.core` — so the
+core algorithm modules can dispatch to them without import cycles, and
+the multi-source kernels stay picklable for
+:meth:`repro.serve.workers.StageRunner.map_sync` sharding.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = [
+    "BACKENDS",
+    "get_backend",
+    "set_backend",
+    "using",
+    "resolve",
+]
+
+BACKENDS = ("auto", "naive", "vector")
+
+_STATE = {"backend": "auto"}
+
+
+def _init_from_env() -> None:
+    value = os.environ.get("REPRO_ACCEL", "").strip().lower()
+    if not value:
+        return
+    if value not in BACKENDS:
+        # Fail loudly: a typo (REPRO_ACCEL=native) silently falling back
+        # to "auto" would neutralize exactly the runs that pin a backend
+        # on purpose (CI's naive-fallback job, reproducibility scripts).
+        raise ValueError(
+            f"REPRO_ACCEL must be one of {BACKENDS}, got {value!r}"
+        )
+    _STATE["backend"] = value
+
+
+_init_from_env()
+
+
+def get_backend() -> str:
+    """The configured backend mode (may be ``"auto"``)."""
+    return _STATE["backend"]
+
+
+def set_backend(name: str) -> None:
+    """Set the process-global backend mode."""
+    if name not in BACKENDS:
+        raise ValueError(
+            f"backend must be one of {BACKENDS}, got {name!r}"
+        )
+    _STATE["backend"] = name
+
+
+@contextmanager
+def using(name: str) -> Iterator[None]:
+    """Scope a backend choice: ``with accel.using("naive"): ...``."""
+    previous = get_backend()
+    set_backend(name)
+    try:
+        yield
+    finally:
+        set_backend(previous)
+
+
+def resolve(
+    backend: Optional[str] = None,
+    *,
+    size: Optional[int] = None,
+    threshold: float = 0,
+) -> str:
+    """Pick ``"naive"`` or ``"vector"`` for one call site.
+
+    ``backend`` overrides the global setting when given.  ``auto``
+    resolves by comparing ``size`` (the call site's natural work
+    measure: edges, vertices, siblings, nodes) against the call site's
+    ``threshold``; with no size it resolves to ``vector``.  A call site
+    whose vector kernel does not (yet) win may pass an infinite
+    threshold: ``auto`` then stays naive while explicit ``"vector"``
+    still forces the kernel.
+    """
+    mode = backend if backend is not None else _STATE["backend"]
+    if mode not in BACKENDS:
+        raise ValueError(
+            f"backend must be one of {BACKENDS}, got {mode!r}"
+        )
+    if mode != "auto":
+        return mode
+    if size is None or size >= threshold:
+        return "vector"
+    return "naive"

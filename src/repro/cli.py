@@ -41,6 +41,7 @@ from typing import Optional
 
 import numpy as np
 
+from . import accel
 from .core import global_correlation_index, outlier_score
 from .engine import (
     ArtifactCache,
@@ -129,6 +130,16 @@ def _add_common(
         "--cache-dir", default=None,
         help="persist pipeline artifacts here (default: $REPRO_CACHE_DIR "
              "if set, else in-memory only)",
+    )
+    _add_accel(parser)
+
+
+def _add_accel(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--accel", choices=accel.BACKENDS, default=None,
+        help="compute-kernel backend for tree construction, measures, "
+             "layout and rasterization; both backends produce identical "
+             "results (default: $REPRO_ACCEL if set, else 'auto')",
     )
 
 
@@ -515,6 +526,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="register an SSE replay session at /stream/NAME over a "
              "JSONL edit log (repeatable)",
     )
+    _add_accel(serve)
     serve.set_defaults(func=_cmd_serve)
     return parser
 
@@ -523,6 +535,8 @@ def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "accel", None):
+        accel.set_backend(args.accel)
     return args.func(args)
 
 

@@ -15,8 +15,12 @@ Two constructions are provided:
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
+from .. import accel
+from ..accel import tree as _accel_tree
 from ..graph.dual import line_graph
 from .scalar_graph import EdgeScalarGraph, ScalarGraph
 from .scalar_tree import ScalarTree, build_vertex_tree
@@ -24,8 +28,13 @@ from .union_find import UnionFind
 
 __all__ = ["build_edge_tree", "build_edge_tree_naive"]
 
+# ``--accel auto`` switch-over point, matching the vertex-tree build.
+_VECTOR_MIN_EDGES = 2048
 
-def build_edge_tree(edge_graph: EdgeScalarGraph) -> ScalarTree:
+
+def build_edge_tree(
+    edge_graph: EdgeScalarGraph, backend: Optional[str] = None
+) -> ScalarTree:
     """Algorithm 3: edge scalar tree in O(E log E).
 
     Edges are processed in decreasing scalar order (ties by edge id).
@@ -37,14 +46,23 @@ def build_edge_tree(edge_graph: EdgeScalarGraph) -> ScalarTree:
     inspected.
 
     Returns a :class:`ScalarTree` whose items are dense edge ids (the
-    order of :attr:`EdgeScalarGraph.edge_pairs`).
+    order of :attr:`EdgeScalarGraph.edge_pairs`).  ``backend`` picks the
+    merge kernel exactly as in
+    :func:`~repro.core.scalar_tree.build_vertex_tree` (byte-identical
+    results either way).
     """
     m = edge_graph.n_edges
     scalars = edge_graph.scalars
     pairs = edge_graph.edge_pairs
-    order = np.lexsort((np.arange(m), -scalars))
-    rank = np.empty(m, dtype=np.int64)
-    rank[order] = np.arange(m)
+    # Decreasing scalar, ties by ascending edge id.
+    order, rank = _accel_tree.rank_order(scalars)
+
+    chosen = accel.resolve(backend, size=m, threshold=_VECTOR_MIN_EDGES)
+    if chosen == "vector":
+        parent = _accel_tree.edge_tree_parents(
+            edge_graph.n_vertices, pairs, rank
+        )
+        return ScalarTree(parent, scalars.copy(), kind="edge")
 
     # min_id_edge per vertex: incident edge with minimum rank.
     n = edge_graph.n_vertices

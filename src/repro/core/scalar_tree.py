@@ -20,10 +20,16 @@ from typing import Iterator, List, Optional
 
 import numpy as np
 
+from .. import accel
+from ..accel import tree as _accel_tree
 from .scalar_graph import ScalarGraph
 from .union_find import UnionFind
 
 __all__ = ["ScalarTree", "build_vertex_tree", "attach_vertex"]
+
+# Below this many edges the vectorized build's presort does not pay for
+# itself; ``--accel auto`` stays on the naive path.
+_VECTOR_MIN_EDGES = 2048
 
 
 def _children_table(parent: np.ndarray, n: int) -> List[List[int]]:
@@ -209,13 +215,21 @@ def attach_vertex(v, neighbors, rank, uf, parent, tree_root, journal=None):
                 tree_root[merged] = v
 
 
-def build_vertex_tree(scalar_graph: ScalarGraph) -> ScalarTree:
+def build_vertex_tree(
+    scalar_graph: ScalarGraph, backend: Optional[str] = None
+) -> ScalarTree:
     """Algorithm 1: construct the vertex scalar tree of a scalar graph.
 
     Vertices are processed in decreasing scalar order (ties broken by
     vertex id, ascending, via a stable sort); each time the current
     vertex meets an already-processed subtree it is attached as that
     subtree's new root.  Disconnected graphs yield a forest.
+
+    ``backend`` picks the construction kernel (default: the global
+    :mod:`repro.accel` setting): the naive path replays the adjacency
+    through :func:`attach_vertex`, the vector path runs the
+    edge-ordered merge scan of :mod:`repro.accel.tree` — both produce
+    byte-identical parent arrays.
 
     When scalar values repeat, apply
     :func:`repro.core.super_tree.build_super_tree` to restore the
@@ -224,14 +238,23 @@ def build_vertex_tree(scalar_graph: ScalarGraph) -> ScalarTree:
     graph = scalar_graph.graph
     n = graph.n_vertices
     scalars = scalar_graph.scalars
-    # Decreasing scalar, ties by ascending vertex id (lexsort: last key primary).
-    order = np.lexsort((np.arange(n), -scalars))
-    rank = np.empty(n, dtype=np.int64)
-    rank[order] = np.arange(n)
+    # Decreasing scalar, ties by ascending vertex id.
+    order, rank = _accel_tree.rank_order(scalars)
+
+    chosen = accel.resolve(
+        backend, size=graph.n_edges, threshold=_VECTOR_MIN_EDGES
+    )
+    if chosen == "vector":
+        parent = _accel_tree.vertex_tree_parents(n, graph.edge_array(), rank)
+        return ScalarTree(parent, scalars.copy(), kind="vertex")
 
     parent = [-1] * n
     uf = UnionFind(n)
     tree_root = list(range(n))  # union-find root -> current subtree root node
+    # List conversions are the naive scan's price of admission (numpy
+    # element access is several times slower than list access from
+    # Python); they live behind the backend switch so the vector path
+    # never pays them.
     indptr = graph.indptr.tolist()
     indices = graph.indices.tolist()
     rank_list = rank.tolist()

@@ -3,17 +3,30 @@
 Degree, closeness, harmonic, PageRank and Brandes betweenness (exact and
 sampled-pivot).  Degree and betweenness are the two fields compared in
 the paper's §III-C / Fig 10 / user-study Task 3.
+
+The traversal-based measures (closeness, harmonic, betweenness) carry a
+``backend`` switch: the naive path is the per-source Python BFS below,
+the vector path the frontier-at-a-time kernels of
+:mod:`repro.accel.traverse` (identical distances, hence identical
+closeness/harmonic values; betweenness agrees to 1e-9).  They also take
+an optional ``runner`` — a :class:`repro.serve.workers.StageRunner` —
+to shard their source lists across a thread/process pool.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
+from .. import accel
+from ..accel import traverse as _traverse
 from ..graph.csr import CSRGraph
 from ..engine.registry import vertex_measure
+
+# ``--accel auto``: per-source Python BFS wins only on very small graphs.
+_VECTOR_MIN_VERTICES = 256
 
 __all__ = [
     "degree_centrality",
@@ -47,14 +60,30 @@ def _bfs_distances(graph: CSRGraph, source: int) -> np.ndarray:
     return dist
 
 
-def closeness_centrality(graph: CSRGraph) -> np.ndarray:
+def closeness_centrality(
+    graph: CSRGraph,
+    backend: Optional[str] = None,
+    sources: Optional[Sequence[int]] = None,
+    runner=None,
+) -> np.ndarray:
     """Closeness with the Wasserman–Faust component correction
     (matches networkx): ``((r-1)/(n-1)) * (r-1)/Σd`` where ``r`` is the
-    size of v's reachable set."""
+    size of v's reachable set.  ``sources`` restricts the computation to
+    those vertices (zeros elsewhere); ``runner`` shards sources across a
+    :class:`~repro.serve.workers.StageRunner` pool on the vector path.
+    """
     n = graph.n_vertices
+    chosen = accel.resolve(backend, size=n, threshold=_VECTOR_MIN_VERTICES)
+    if chosen == "vector":
+        return _traverse.shard_sources(
+            _traverse.closeness_values,
+            graph.indptr, graph.indices,
+            range(n) if sources is None else sources,
+            runner=runner,
+        )
     out = np.zeros(n)
-    for v in range(n):
-        dist = _bfs_distances(graph, v)
+    for v in range(n) if sources is None else sources:
+        dist = _bfs_distances(graph, int(v))
         reach = dist >= 0
         r = int(reach.sum())
         total = int(dist[reach].sum())
@@ -63,12 +92,30 @@ def closeness_centrality(graph: CSRGraph) -> np.ndarray:
     return out
 
 
-def harmonic_centrality(graph: CSRGraph) -> np.ndarray:
-    """Harmonic centrality: ``Σ_{u != v} 1 / d(u, v)`` (0 for unreachable)."""
+def harmonic_centrality(
+    graph: CSRGraph,
+    backend: Optional[str] = None,
+    sources: Optional[Sequence[int]] = None,
+    runner=None,
+) -> np.ndarray:
+    """Harmonic centrality: ``Σ_{u != v} 1 / d(u, v)`` (0 for unreachable).
+
+    ``sources`` restricts the computation to those vertices (zeros
+    elsewhere); ``runner`` shards sources across a
+    :class:`~repro.serve.workers.StageRunner` pool on the vector path.
+    """
     n = graph.n_vertices
+    chosen = accel.resolve(backend, size=n, threshold=_VECTOR_MIN_VERTICES)
+    if chosen == "vector":
+        return _traverse.shard_sources(
+            _traverse.harmonic_values,
+            graph.indptr, graph.indices,
+            range(n) if sources is None else sources,
+            runner=runner,
+        )
     out = np.zeros(n)
-    for v in range(n):
-        dist = _bfs_distances(graph, v)
+    for v in range(n) if sources is None else sources:
+        dist = _bfs_distances(graph, int(v))
         pos = dist > 0
         out[v] = float((1.0 / dist[pos]).sum())
     return out
@@ -140,6 +187,8 @@ def betweenness_centrality(
     normalized: bool = True,
     samples: Optional[int] = None,
     seed: int = 0,
+    backend: Optional[str] = None,
+    runner=None,
 ) -> np.ndarray:
     """Brandes betweenness centrality (unweighted).
 
@@ -153,6 +202,13 @@ def betweenness_centrality(
         needed to keep the larger stand-in graphs tractable.
     seed:
         Pivot-sampling seed.
+    backend:
+        Accumulation kernel (see :mod:`repro.accel`); both backends use
+        the same pivots, and agree to ~1e-9 (the level-synchronous
+        vector pass sums dependencies in a different order).
+    runner:
+        Optional :class:`~repro.serve.workers.StageRunner` to shard the
+        pivots across on the vector path.
     """
     n = graph.n_vertices
     bc = np.zeros(n)
@@ -165,6 +221,18 @@ def betweenness_centrality(
     else:
         sources = np.arange(n)
         scale_samples = 1.0
+
+    chosen = accel.resolve(backend, size=n, threshold=_VECTOR_MIN_VERTICES)
+    if chosen == "vector":
+        bc = _traverse.shard_sources(
+            _traverse.betweenness_accumulate,
+            graph.indptr, graph.indices, sources,
+            runner=runner,
+        )
+        bc *= scale_samples / 2.0  # each undirected pair counted twice
+        if normalized:
+            bc /= (n - 1) * (n - 2) / 2.0
+        return bc
 
     indptr = graph.indptr.tolist()
     indices = graph.indices.tolist()
@@ -225,19 +293,19 @@ def _pagerank_field(graph: CSRGraph) -> np.ndarray:
 
 
 @vertex_measure(
-    "closeness", cost="expensive", replace=True,
+    "closeness", cost="expensive", replace=True, backend="accel",
     description="closeness centrality (all-pairs BFS)",
 )
-def _closeness_field(graph: CSRGraph) -> np.ndarray:
-    return closeness_centrality(graph)
+def _closeness_field(graph: CSRGraph, backend=None) -> np.ndarray:
+    return closeness_centrality(graph, backend=backend)
 
 
 @vertex_measure(
-    "harmonic", cost="expensive", replace=True,
+    "harmonic", cost="expensive", replace=True, backend="accel",
     description="harmonic centrality (all-pairs BFS)",
 )
-def _harmonic_field(graph: CSRGraph) -> np.ndarray:
-    return harmonic_centrality(graph)
+def _harmonic_field(graph: CSRGraph, backend=None) -> np.ndarray:
+    return harmonic_centrality(graph, backend=backend)
 
 
 @vertex_measure(
@@ -249,10 +317,10 @@ def _eigenvector_field(graph: CSRGraph) -> np.ndarray:
 
 
 @vertex_measure(
-    "betweenness", cost="expensive", replace=True,
+    "betweenness", cost="expensive", replace=True, backend="accel",
     description="betweenness centrality (sampled pivots, seed 0)",
 )
-def _betweenness_field(graph: CSRGraph) -> np.ndarray:
+def _betweenness_field(graph: CSRGraph, backend=None) -> np.ndarray:
     return betweenness_centrality(
-        graph, samples=min(256, graph.n_vertices), seed=0
+        graph, samples=min(256, graph.n_vertices), seed=0, backend=backend
     )

@@ -8,24 +8,41 @@ maximal α-connected component of the KC field is a K-core with K = α.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
+from .. import accel
+from ..accel import traverse as _traverse
 from ..graph.csr import CSRGraph
 from ..engine.registry import vertex_measure
 
 __all__ = ["core_numbers", "k_core_subgraph", "degeneracy"]
 
+# ``--accel auto``: below this many edges the per-batch numpy scatters
+# cost more than the naive bucket walk.
+_VECTOR_MIN_EDGES = 2048
 
-def core_numbers(graph: CSRGraph) -> np.ndarray:
+
+def core_numbers(graph: CSRGraph, backend: Optional[str] = None) -> np.ndarray:
     """``KC(v)`` for every vertex, via bucket peeling in O(m).
 
     Repeatedly removes a minimum-degree vertex; a vertex's core number
-    is its degree at removal time (made monotone over the peel).
+    is its degree at removal time (made monotone over the peel).  The
+    vector backend peels whole degree levels at a time
+    (:func:`repro.accel.traverse.core_numbers_vector`); core numbers
+    are peel-order-independent, so both backends return identical
+    vectors.
     """
     n = graph.n_vertices
     degree = graph.degree().astype(np.int64)
     if n == 0:
         return np.zeros(0, dtype=np.int64)
+    chosen = accel.resolve(
+        backend, size=graph.n_edges, threshold=_VECTOR_MIN_EDGES
+    )
+    if chosen == "vector":
+        return _traverse.core_numbers_vector(graph.indptr, graph.indices)
     max_deg = int(degree.max())
 
     # Bucket sort vertices by degree.
@@ -85,8 +102,8 @@ def degeneracy(graph: CSRGraph) -> int:
 # Registry adapter (repro.engine): KC(v) as a float scalar field.
 # ----------------------------------------------------------------------
 @vertex_measure(
-    "kcore", cost="moderate", replace=True,
+    "kcore", cost="moderate", replace=True, backend="accel",
     description="K-core number KC(v) (peeling, Table II's field)",
 )
-def _kcore_field(graph: CSRGraph) -> np.ndarray:
-    return core_numbers(graph).astype(np.float64)
+def _kcore_field(graph: CSRGraph, backend=None) -> np.ndarray:
+    return core_numbers(graph, backend=backend).astype(np.float64)

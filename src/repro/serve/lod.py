@@ -33,7 +33,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from ..engine.pipeline import Pipeline
-from ..terrain.heightfield import Heightfield, Tile
+from ..terrain.heightfield import RASTER_ORDER_VERSION, Heightfield, Tile
 
 __all__ = ["LODPyramid", "tile_etag"]
 
@@ -99,6 +99,10 @@ class LODPyramid:
             resolution=self.base_resolution,
             tile_size=self.tile_size,
             pyramid_levels=self.levels,
+            # Tiles persist to disk; salting with the paint-order
+            # version keeps grids rasterized under an older canonical
+            # order from being stitched next to fresh ones.
+            raster_order=RASTER_ORDER_VERSION,
         )
         params.update(extra)
         return params

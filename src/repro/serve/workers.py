@@ -119,6 +119,20 @@ class StageRunner:
         finally:
             self._inflight.pop(key, None)
 
+    def map_sync(self, fn, args_list: List[tuple]) -> List:
+        """Run ``fn(*args)`` for every tuple in ``args_list`` on the
+        pool, synchronously, preserving input order.
+
+        The blocking counterpart of :meth:`run` for fan-out jobs that
+        are *parts* of one computation rather than independently keyed
+        artifacts — e.g. :func:`repro.accel.traverse.shard_sources`
+        splitting a multi-source centrality's source list into chunks.
+        In process mode ``fn`` must be a picklable module-level
+        function, exactly like the build jobs below.
+        """
+        futures = [self._executor.submit(fn, *args) for args in args_list]
+        return [future.result() for future in futures]
+
     def shutdown(self) -> None:
         self._executor.shutdown(wait=False, cancel_futures=True)
         if self.thread_executor is not self._executor:

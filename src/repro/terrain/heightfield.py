@@ -25,11 +25,24 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from .. import accel
+from ..accel.raster import forest_depths, stamp_points
 from .layout2d import TerrainLayout
 
-__all__ = ["Heightfield", "Tile", "rasterize"]
+__all__ = ["Heightfield", "Tile", "rasterize", "RASTER_ORDER_VERSION"]
 
 _TILE_MAGIC = b"RPTILE1\n"
+
+# Bumped whenever the canonical paint order changes, so persisted
+# artifacts derived from a heightfield (LOD tiles) can salt their cache
+# keys and never mix grids painted under different orders.  Version 1:
+# DFS subtree order; version 2: level-major (deepest boundary always
+# wins, full discs before sub-pixel stamps within a level).
+RASTER_ORDER_VERSION = 2
+
+# ``--accel auto``: batching tiny-disc stamps needs enough nodes to
+# matter.
+_VECTOR_MIN_NODES = 256
 
 
 class Heightfield:
@@ -254,12 +267,34 @@ class Tile:
         )
 
 
-def rasterize(layout: TerrainLayout, resolution: int = 160) -> Heightfield:
-    """Paint the layout's discs, parents before children.
+def _paint_disc(height, node, xs, ys, cx, cy, j_lo, j_hi, i_lo, i_hi, r, h, nid):
+    """Overwrite one disc's cells (shared by both rasterize backends)."""
+    sub_x = xs[j_lo:j_hi] - cx
+    sub_y = ys[i_lo:i_hi] - cy
+    mask = (sub_x[None, :] ** 2 + sub_y[:, None] ** 2) <= r * r
+    height[i_lo:i_hi, j_lo:j_hi][mask] = h
+    node[i_lo:i_hi, j_lo:j_hi][mask] = nid
 
-    Children overwrite their parents, so each cell ends at the deepest
-    containing boundary — exactly the terrain function.  O(nodes × disc
-    pixels), vectorised per disc.
+
+def rasterize(
+    layout: TerrainLayout,
+    resolution: int = 160,
+    backend: Optional[str] = None,
+) -> Heightfield:
+    """Paint the layout's discs in level-major order.
+
+    Discs paint one tree level at a time, shallowest first, so a deeper
+    boundary always paints after (and therefore over) a shallower one —
+    each cell ends at the *deepest* containing boundary, exactly the
+    terrain function, even where discs from different subtrees overlap.
+    Within a level, full discs paint in ascending node id, then the
+    level's sub-pixel discs stamp their nearest cell (conditioned on
+    the standing height, so tiny leaves register without burying a
+    taller stamp).  O(nodes × disc pixels), vectorised per disc; the
+    vector backend (:mod:`repro.accel.raster`) additionally batches a
+    level's sub-pixel stamps — typically the *bulk* of a real tree's
+    nodes — into one sort-and-scatter.  Both backends produce
+    byte-identical grids.
     """
     if resolution < 4:
         raise ValueError("resolution must be >= 4")
@@ -278,22 +313,61 @@ def rasterize(layout: TerrainLayout, resolution: int = 160) -> Heightfield:
     xs = xmin + (np.arange(res) + 0.5) / res * span_x
     ys = ymin + (np.arange(res) + 0.5) / res * span_y
 
-    order = []
-    stack = list(tree.roots)
-    while stack:
-        cur = stack.pop()
-        order.append(cur)
-        stack.extend(tree.children(cur))
+    # Canonical paint order: by depth, then node id.
+    depth = forest_depths(tree.parent)
+    order = np.lexsort((np.arange(tree.n_nodes), depth))
+    level_starts = np.searchsorted(depth[order], np.arange(depth.max() + 2))
 
-    for nid in order:
-        cx, cy, r = layout.cx[nid], layout.cy[nid], layout.r[nid]
-        j_lo = int(np.searchsorted(xs, cx - r))
-        j_hi = int(np.searchsorted(xs, cx + r))
-        i_lo = int(np.searchsorted(ys, cy - r))
-        i_hi = int(np.searchsorted(ys, cy + r))
-        if j_lo >= j_hi or i_lo >= i_hi:
-            # Sub-pixel disc: stamp its nearest cell so tiny leaves
-            # still register (the paper draws them as points).
+    chosen = accel.resolve(
+        backend, size=tree.n_nodes, threshold=_VECTOR_MIN_NODES
+    )
+    if chosen == "vector":
+        cxs, cys, rs = layout.cx, layout.cy, layout.r
+        j_lo = np.searchsorted(xs, cxs - rs)
+        j_hi = np.searchsorted(xs, cxs + rs)
+        i_lo = np.searchsorted(ys, cys - rs)
+        i_hi = np.searchsorted(ys, cys + rs)
+        tiny = (j_lo >= j_hi) | (i_lo >= i_hi)
+        # Sub-pixel stamp cells, truncated toward zero then clamped
+        # exactly like the naive int()+clip.
+        t_i = np.clip(((cys - ymin) / span_y * res).astype(np.int64), 0, res - 1)
+        t_j = np.clip(((cxs - xmin) / span_x * res).astype(np.int64), 0, res - 1)
+        for lo, hi in zip(level_starts[:-1], level_starts[1:]):
+            nodes = order[lo:hi]
+            for nid in nodes[~tiny[nodes]].tolist():
+                _paint_disc(
+                    height, node, xs, ys, cxs[nid], cys[nid],
+                    int(j_lo[nid]), int(j_hi[nid]),
+                    int(i_lo[nid]), int(i_hi[nid]),
+                    rs[nid], scalars[nid], nid,
+                )
+            points = nodes[tiny[nodes]]
+            stamp_points(
+                height, node, t_i[points], t_j[points], points,
+                scalars[points],
+            )
+        return Heightfield(height, node, layout.extent, base)
+
+    for lo, hi in zip(level_starts[:-1], level_starts[1:]):
+        deferred = []
+        for nid in order[lo:hi].tolist():
+            cx, cy, r = layout.cx[nid], layout.cy[nid], layout.r[nid]
+            j_lo = int(np.searchsorted(xs, cx - r))
+            j_hi = int(np.searchsorted(xs, cx + r))
+            i_lo = int(np.searchsorted(ys, cy - r))
+            i_hi = int(np.searchsorted(ys, cy + r))
+            if j_lo >= j_hi or i_lo >= i_hi:
+                # Sub-pixel disc: stamp its nearest cell (after the
+                # level's full discs) so tiny leaves still register
+                # (the paper draws them as points).
+                deferred.append(nid)
+                continue
+            _paint_disc(
+                height, node, xs, ys, cx, cy,
+                j_lo, j_hi, i_lo, i_hi, r, scalars[nid], nid,
+            )
+        for nid in deferred:
+            cx, cy = layout.cx[nid], layout.cy[nid]
             i, j = np.clip(
                 [int((cy - ymin) / span_y * res), int((cx - xmin) / span_x * res)],
                 0,
@@ -302,12 +376,4 @@ def rasterize(layout: TerrainLayout, resolution: int = 160) -> Heightfield:
             if scalars[nid] >= height[i, j]:
                 height[i, j] = scalars[nid]
                 node[i, j] = nid
-            continue
-        sub_x = xs[j_lo:j_hi] - cx
-        sub_y = ys[i_lo:i_hi] - cy
-        mask = (sub_x[None, :] ** 2 + sub_y[:, None] ** 2) <= r * r
-        block_h = height[i_lo:i_hi, j_lo:j_hi]
-        block_n = node[i_lo:i_hi, j_lo:j_hi]
-        block_h[mask] = scalars[nid]
-        block_n[mask] = nid
     return Heightfield(height, node, layout.extent, base)

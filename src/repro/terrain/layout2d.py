@@ -15,13 +15,19 @@ a :class:`TerrainLayout`.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
+from .. import accel
+from ..accel.geometry import relax_siblings_naive, relax_siblings_vector
 from ..core.super_tree import SuperTree
 
 __all__ = ["TerrainLayout", "layout_tree"]
+
+# ``--accel auto``: the k×k broadcast only pays off once a sibling group
+# is big enough to amortize the array setup.
+_VECTOR_MIN_SIBLINGS = 8
 
 
 class TerrainLayout:
@@ -45,12 +51,11 @@ class TerrainLayout:
         self.cx = np.asarray(cx, dtype=np.float64)
         self.cy = np.asarray(cy, dtype=np.float64)
         self.r = np.asarray(r, dtype=np.float64)
-        pad = float(self.r.max()) if len(self.r) else 1.0
-        roots = tree.roots
-        xmin = float(min(self.cx[n] - self.r[n] for n in roots))
-        xmax = float(max(self.cx[n] + self.r[n] for n in roots))
-        ymin = float(min(self.cy[n] - self.r[n] for n in roots))
-        ymax = float(max(self.cy[n] + self.r[n] for n in roots))
+        roots = np.asarray(tree.roots, dtype=np.int64)
+        xmin = float((self.cx[roots] - self.r[roots]).min())
+        xmax = float((self.cx[roots] + self.r[roots]).max())
+        ymin = float((self.cy[roots] - self.r[roots]).min())
+        ymax = float((self.cy[roots] + self.r[roots]).max())
         margin = 0.03 * max(xmax - xmin, ymax - ymin, 1e-9)
         self.extent = (
             xmin - margin,
@@ -102,6 +107,7 @@ def _place_children(
     inner: float,
     fill: float,
     relax_iters: int,
+    backend: Optional[str] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Place child discs inside a parent disc.
 
@@ -109,7 +115,9 @@ def _place_children(
     the parent's* (the paper's area rule) — so a chain of single-member
     nodes shrinks only marginally per level and deep hierarchies keep
     their summit area.  Children are seeded at weight-proportional
-    sector angles, then relaxed apart to remove sibling overlap.
+    sector angles, then relaxed apart to remove sibling overlap with
+    the accumulate-then-apply sweep of :mod:`repro.accel.geometry`
+    (both backends of which are bit-identical).
     """
     k = len(weights)
     available = radius * inner
@@ -139,39 +147,11 @@ def _place_children(
     ys = cy + dist * np.sin(angles)
     # Deterministic relaxation: push overlapping siblings apart, keep
     # each child inside the parent.
-    for __ in range(relax_iters):
-        moved = False
-        for i in range(k):
-            for j in range(i + 1, k):
-                dx = xs[j] - xs[i]
-                dy = ys[j] - ys[i]
-                d = math.hypot(dx, dy)
-                need = (radii[i] + radii[j]) * 1.02
-                if d < need:
-                    if d < 1e-12:
-                        dx, dy, d = 1.0, 0.0, 1.0
-                    push = (need - d) / 2
-                    ux, uy = dx / d, dy / d
-                    xs[i] -= ux * push
-                    ys[i] -= uy * push
-                    xs[j] += ux * push
-                    ys[j] += uy * push
-                    moved = True
-        for i in range(k):
-            dx = xs[i] - cx
-            dy = ys[i] - cy
-            d = math.hypot(dx, dy)
-            limit = available - radii[i]
-            if d > limit:
-                if d < 1e-12:
-                    xs[i], ys[i] = cx, cy
-                else:
-                    scale = limit / d
-                    xs[i] = cx + dx * scale
-                    ys[i] = cy + dy * scale
-                moved = True
-        if not moved:
-            break
+    chosen = accel.resolve(backend, size=k, threshold=_VECTOR_MIN_SIBLINGS)
+    relax = (
+        relax_siblings_vector if chosen == "vector" else relax_siblings_naive
+    )
+    xs, ys = relax(xs, ys, radii, cx, cy, available, relax_iters)
     return xs, ys, radii
 
 
@@ -219,6 +199,7 @@ def layout_tree(
     fill: float = 0.8,
     leaf_radius: float = 0.012,
     relax_iters: int = 40,
+    backend: Optional[str] = None,
 ) -> TerrainLayout:
     """Compute the nested-disc layout of a super tree.
 
@@ -236,6 +217,9 @@ def layout_tree(
         the paper draws as degenerate points.
     relax_iters:
         Iterations of the sibling-overlap relaxation.
+    backend:
+        Relaxation kernel (see :mod:`repro.accel`); the layouts are
+        bit-identical either way.
     """
     n = tree.n_nodes
     cx = np.zeros(n)
@@ -284,7 +268,7 @@ def layout_tree(
         kid_weights = weights[kids]
         xs, ys, radii = _place_children(
             cx[node], cy[node], r[node], kid_weights, weights[node],
-            inner, fill, relax_iters,
+            inner, fill, relax_iters, backend=backend,
         )
         for kid, x, y, radius in zip(kids, xs, ys, radii):
             cx[kid] = x

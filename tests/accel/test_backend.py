@@ -1,0 +1,132 @@
+"""Backend selection: global setting, env default, resolution, CLI flag."""
+
+import numpy as np
+import pytest
+
+from repro import accel
+from repro.cli import build_parser, main
+from repro.engine import registry
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    previous = accel.get_backend()
+    yield
+    accel.set_backend(previous)
+
+
+class TestSetting:
+    def test_default_mode_is_valid(self):
+        assert accel.get_backend() in accel.BACKENDS
+
+    def test_set_and_get(self):
+        accel.set_backend("vector")
+        assert accel.get_backend() == "vector"
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            accel.set_backend("cuda")
+
+    def test_using_scopes_and_restores(self):
+        accel.set_backend("auto")
+        with accel.using("naive"):
+            assert accel.get_backend() == "naive"
+        assert accel.get_backend() == "auto"
+
+    def test_using_restores_on_error(self):
+        accel.set_backend("auto")
+        with pytest.raises(RuntimeError):
+            with accel.using("vector"):
+                raise RuntimeError("boom")
+        assert accel.get_backend() == "auto"
+
+    def test_env_init_accepts_valid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ACCEL", "vector")
+        accel._init_from_env()
+        assert accel.get_backend() == "vector"
+
+    def test_env_init_rejects_typos(self, monkeypatch):
+        """A typo must fail loudly, not silently fall back to auto —
+        otherwise CI's pinned-backend jobs would test nothing."""
+        monkeypatch.setenv("REPRO_ACCEL", "native")
+        with pytest.raises(ValueError):
+            accel._init_from_env()
+
+
+class TestResolve:
+    def test_explicit_beats_global(self):
+        accel.set_backend("vector")
+        assert accel.resolve("naive") == "naive"
+
+    def test_auto_thresholds_on_size(self):
+        accel.set_backend("auto")
+        assert accel.resolve(size=10, threshold=100) == "naive"
+        assert accel.resolve(size=100, threshold=100) == "vector"
+
+    def test_auto_without_size_is_vector(self):
+        assert accel.resolve("auto") == "vector"
+
+    def test_forced_ignores_size(self):
+        assert accel.resolve("naive", size=10**9, threshold=0) == "naive"
+        assert accel.resolve("vector", size=0, threshold=10**9) == "vector"
+
+    def test_invalid_override_rejected(self):
+        with pytest.raises(ValueError):
+            accel.resolve("fast")
+
+
+class TestRegistrySpecs:
+    def test_accelerated_measures_declare_backend(self):
+        for name in ("kcore", "ktruss", "harmonic", "closeness", "betweenness"):
+            assert registry.get_measure(name).backend == "accel"
+
+    def test_plain_measures_stay_naive(self):
+        assert registry.get_measure("degree").backend == "naive"
+
+    def test_compute_forwards_backend(self):
+        from repro.graph.generators import erdos_renyi
+
+        graph = erdos_renyi(30, 60, seed=3)
+        a = registry.compute("kcore", graph, backend="naive")
+        b = registry.compute("kcore", graph, backend="vector")
+        assert np.array_equal(a, b)
+
+    def test_register_rejects_bad_backend(self):
+        with pytest.raises(ValueError):
+            registry.register_measure(
+                "bogus-backend-measure", kind="vertex", backend="gpu"
+            )(lambda graph: None)
+
+
+class TestCLI:
+    def test_every_subcommand_accepts_accel(self):
+        parser = build_parser()
+        for command in (
+            ["terrain"], ["peaks"], ["treemap"], ["profile"],
+            ["correlate", "degree", "kcore"], ["stream", "--log", "x"],
+            ["serve"],
+        ):
+            args = parser.parse_args(
+                command + ["--accel", "vector"]
+                + (["--dataset", "d"] if command[0] != "serve" else [])
+            )
+            assert args.accel == "vector"
+
+    def test_flag_sets_global_backend(self, tmp_path):
+        edges = tmp_path / "tiny.txt"
+        edges.write_text("0 1\n1 2\n2 0\n3 0\n")
+        accel.set_backend("auto")
+        assert main([
+            "peaks", "--edge-list", str(edges), "--measure", "degree",
+            "--accel", "naive",
+        ]) == 0
+        assert accel.get_backend() == "naive"
+
+    def test_no_flag_keeps_global_backend(self, tmp_path):
+        edges = tmp_path / "tiny.txt"
+        edges.write_text("0 1\n1 2\n2 0\n")
+        accel.set_backend("vector")
+        assert main([
+            "peaks", "--edge-list", str(edges), "--measure", "degree",
+        ]) == 0
+        assert accel.get_backend() == "vector"

@@ -1,0 +1,74 @@
+"""Property: vector sibling relaxation ≡ naive sweep, bit-for-bit.
+
+Both kernels implement the same accumulate-then-apply sweep with the
+same float operations in the same order, so entire layouts must come
+out byte-identical — not merely close.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.geometry import relax_siblings_naive, relax_siblings_vector
+from repro.core import ScalarGraph, build_super_tree, build_vertex_tree
+from repro.terrain import layout_tree
+
+from accel_strategies import scalar_fields
+
+
+@st.composite
+def sibling_sets(draw):
+    k = draw(st.integers(min_value=1, max_value=40))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    # Mix of spread-out and piled-up configurations; occasionally force
+    # coincident centres to hit the degenerate separation branch.
+    spread = draw(st.sampled_from([0.05, 0.3, 0.8]))
+    xs = rng.uniform(-spread, spread, k)
+    ys = rng.uniform(-spread, spread, k)
+    if k > 1 and draw(st.booleans()):
+        xs[1] = xs[0]
+        ys[1] = ys[0]
+    radii = rng.uniform(0.01, 0.15, k)
+    iters = draw(st.integers(min_value=1, max_value=12))
+    return xs, ys, radii, iters
+
+
+@settings(max_examples=60, deadline=None)
+@given(sibling_sets())
+def test_relax_bit_identical(case):
+    xs, ys, radii, iters = case
+    nx, ny = relax_siblings_naive(xs, ys, radii, 0.0, 0.0, 1.0, iters)
+    vx, vy = relax_siblings_vector(xs, ys, radii, 0.0, 0.0, 1.0, iters)
+    assert np.array_equal(nx, vx)
+    assert np.array_equal(ny, vy)
+
+
+@settings(max_examples=20, deadline=None)
+@given(sibling_sets())
+def test_relax_resolves_overlap_and_containment(case):
+    """Behavioral sanity shared by both backends: after enough sweeps,
+    siblings barely overlap and stay inside the parent."""
+    xs, ys, radii, __ = case
+    vx, vy = relax_siblings_vector(xs, ys, radii, 0.0, 0.0, 1.0, 60)
+    k = len(vx)
+    for i in range(k):
+        assert np.sqrt(vx[i] ** 2 + vy[i] ** 2) <= (1.0 - radii[i]) * 1.0001
+    if k <= 12 and float(np.sqrt((radii ** 2).sum())) < 0.55:
+        for i in range(k):
+            for j in range(i + 1, k):
+                d = float(np.hypot(vx[i] - vx[j], vy[i] - vy[j]))
+                assert d >= (radii[i] + radii[j]) * 0.8
+
+
+@settings(max_examples=30, deadline=None)
+@given(scalar_fields())
+def test_layout_tree_identical_across_backends(field):
+    graph, scalars = field
+    tree = build_super_tree(build_vertex_tree(ScalarGraph(graph, scalars)))
+    naive = layout_tree(tree, backend="naive")
+    vector = layout_tree(tree, backend="vector")
+    assert np.array_equal(naive.cx, vector.cx)
+    assert np.array_equal(naive.cy, vector.cy)
+    assert np.array_equal(naive.r, vector.r)
+    assert naive.extent == vector.extent
