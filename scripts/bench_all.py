@@ -5,11 +5,12 @@ Each ``benchmarks/bench_*.py`` runs in its own pytest process (so one
 bench's failure or import problem can't sink the rest) with the caller's
 environment — set ``REPRO_BENCH_TINY=1`` for CI-smoke sizes and
 ``REPRO_ACCEL`` to pin a kernel backend.  Results land in
-``BENCH_PR4.json``:
+``BENCH_PR5.json``:
 
 * ``benches`` — per-file wall time and exit status;
-* ``speedups`` — the vector-vs-naive kernel speedups the accel
-  benchmarks measured (merged from ``benchmarks/out/accel_*.json``);
+* ``speedups`` — the vector-vs-naive kernel speedups and the
+  sharded-vs-single dist scaling curves (merged from
+  ``benchmarks/out/accel_*.json`` and ``benchmarks/out/dist_*.json``);
 * ``env`` — the knobs that shaped the run.
 
 Future PRs diff this file against their own run to keep a perf
@@ -64,15 +65,17 @@ def run_bench(path: Path, pytest_args: list) -> dict:
 def collect_speedups(not_before: float) -> dict:
     """Speedup sidecars written by *this* run (mtime filter keeps stale
     numbers from earlier runs — different env, different filters — out
-    of the ledger)."""
+    of the ledger).  Two families: ``accel_*`` (vector-vs-naive kernel
+    speedups) and ``dist_*`` (sharded-vs-single scaling curves)."""
     speedups = {}
-    for path in sorted(OUT_DIR.glob("accel_*.json")):
-        if path.stat().st_mtime < not_before:
-            continue
-        try:
-            speedups[path.stem] = json.loads(path.read_text())
-        except ValueError:
-            speedups[path.stem] = {"error": "unparseable sidecar"}
+    for pattern in ("accel_*.json", "dist_*.json"):
+        for path in sorted(OUT_DIR.glob(pattern)):
+            if path.stat().st_mtime < not_before:
+                continue
+            try:
+                speedups[path.stem] = json.loads(path.read_text())
+            except ValueError:
+                speedups[path.stem] = {"error": "unparseable sidecar"}
     return speedups
 
 
@@ -83,7 +86,7 @@ def main(argv=None) -> int:
         help="run only bench files whose name contains SUBSTRING",
     )
     parser.add_argument(
-        "--output", default=str(REPO_ROOT / "BENCH_PR4.json"),
+        "--output", default=str(REPO_ROOT / "BENCH_PR5.json"),
         help="consolidated ledger path (default: %(default)s)",
     )
     parser.add_argument(

@@ -1,0 +1,55 @@
+"""repro.dist — sharded, out-of-core pipeline execution.
+
+The horizontal-scale layer: graphs whose edge sets exceed one worker's
+memory (or one core's patience) are split into self-describing
+:class:`~repro.dist.partition.Shard`\\ s, each shard's scalar forest is
+reduced in a worker, and the forests are merged into a global tree that
+is **node-for-node identical** to the single-process build.
+
+``repro.dist.partition``
+    Deterministic edge partitioners (``hash``/``range``/``degree``),
+    boundary-vertex bookkeeping, and the shard manifest format.
+``repro.dist.oocore``
+    Streaming scatter of an on-disk edge list into per-shard fragments
+    with bounded peak memory.
+``repro.dist.executor``
+    :class:`ShardedExecutor` — fan-out over a
+    :class:`~repro.serve.workers.StageRunner`, exact merge via the
+    filter-and-replay argument, final assembly through the tree's
+    splice hook.
+``repro.dist.plan``
+    The ``--dist {auto,off,N}`` cost model (shard count, cut size,
+    measure cost → partitioner + worker count).
+
+The engine integrates all of this as an execution *backend*: like
+:mod:`repro.accel`, the dist choice never enters a cache key because
+the outputs are identical.
+"""
+
+from .executor import ShardedExecutor, reduce_shard
+from .oocore import ScatterResult, load_shards, scatter_edge_list
+from .partition import (
+    PARTITIONERS,
+    Shard,
+    boundary_sets,
+    cut_vertices,
+    partition_edges,
+)
+from .plan import DistPlan, choose_partitioner, plan, usable_cpus
+
+__all__ = [
+    "PARTITIONERS",
+    "Shard",
+    "boundary_sets",
+    "cut_vertices",
+    "partition_edges",
+    "ScatterResult",
+    "scatter_edge_list",
+    "load_shards",
+    "ShardedExecutor",
+    "reduce_shard",
+    "DistPlan",
+    "plan",
+    "choose_partitioner",
+    "usable_cpus",
+]

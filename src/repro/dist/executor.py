@@ -1,0 +1,313 @@
+"""Sharded scalar-tree construction: fan out, reduce, merge, splice.
+
+Algorithm 1 is, operationally, a union-find scan over edges ordered by
+the later-processed endpoint's rank (:mod:`repro.accel.tree`).  Two
+facts make it shard-parallel **without approximation**:
+
+1. *within one item's merge group the result is order-invariant* (the
+   accel module's equivalence argument), so edges may be regrouped
+   freely as long as the scan stays sorted by rank; and
+2. *redundant edges never touch the tree*: an edge whose endpoints are
+   already connected by lower-rank edges causes no parent assignment.
+   If a shard-local scan finds an edge redundant using only the shard's
+   own lower-rank edges, that edge is redundant in the global scan too
+   (the global prefix is a superset), so it can be dropped before the
+   merge — the distributed-connectivity / filter-Kruskal argument.
+
+:func:`reduce_shard` therefore runs the scan over one shard's edges and
+keeps exactly the merge-causing ones — the shard's **merge forest**, at
+most ``n - 1`` edges however many the shard holds.  Replaying the
+concatenated merge forests through one global
+:func:`~repro.accel.tree.vertex_tree_parents` scan yields a parent
+array *identical node-for-node* to the single-process build
+(``tests/dist/test_merge_identity.py`` enforces this across
+partitioners × measures).  The final tree is assembled through the
+splice hook (:meth:`~repro.core.scalar_tree.ScalarTree.spliced`): the
+largest shard's local forest (recoverable from its merge forest alone)
+is taken as the base and only the parents the cross-shard interleaving
+actually moved are patched in.
+
+Workers run through :class:`repro.serve.workers.StageRunner.map_sync` —
+threads for in-process runs, a ``ProcessPoolExecutor`` when real
+parallelism is wanted — and per-shard merge forests are content-hash
+cached (:class:`~repro.engine.cache.ArtifactCache`), so a warm re-run
+only re-reduces shards whose edges or field actually changed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..accel.tree import rank_order, vertex_tree_parents
+from ..core.scalar_tree import ScalarTree
+from .partition import Shard, cut_vertices
+
+__all__ = [
+    "DIST_FIELD_MERGERS",
+    "reduce_shard",
+    "shard_degree",
+    "ShardedExecutor",
+]
+
+
+# ----------------------------------------------------------------------
+# Module-level worker jobs (picklable for process pools)
+# ----------------------------------------------------------------------
+def reduce_shard(
+    n_vertices: int, edges: np.ndarray, rank: np.ndarray
+) -> np.ndarray:
+    """One shard's merge forest: the edges that merge disjoint subtrees
+    when the shard is scanned alone in global rank order.
+
+    Returns a ``(k, 2)`` subset of ``edges`` (``k <= n_vertices - 1``).
+    Replaying it alone reproduces the shard-local forest exactly, and
+    concatenated with the other shards' forests it reproduces the
+    global tree exactly (module docstring).
+    """
+    if len(edges) == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    pairs = np.asarray(edges, dtype=np.int64)
+    ra = rank[pairs[:, 0]]
+    rb = rank[pairs[:, 1]]
+    later = ra > rb
+    cur = np.where(later, pairs[:, 0], pairs[:, 1])
+    prev = np.where(later, pairs[:, 1], pairs[:, 0])
+    eorder = np.argsort(np.maximum(ra, rb))
+    cur_l = cur[eorder].tolist()
+    prev_l = prev[eorder].tolist()
+
+    # The merge scan of repro.accel.tree, tracking which steps merged
+    # instead of materialising parents (same union-find: path halving +
+    # union by size, group-root caching).
+    uf = list(range(n_vertices))
+    size = [1] * n_vertices
+    kept: List[int] = []
+    prev_cur = -1
+    root_v = -1
+    for i in range(len(cur_l)):
+        v = cur_l[i]
+        if v != prev_cur:
+            prev_cur = v
+            root_v = v
+        x = prev_l[i]
+        while uf[x] != x:
+            uf[x] = uf[uf[x]]
+            x = uf[x]
+        if root_v != x:
+            kept.append(i)
+            if size[root_v] < size[x]:
+                root_v, x = x, root_v
+            uf[x] = root_v
+            size[root_v] += size[x]
+    if not kept:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.ascontiguousarray(
+        pairs[eorder[np.array(kept, dtype=np.int64)]]
+    )
+
+
+def shard_degree(n_vertices: int, edges: np.ndarray) -> np.ndarray:
+    """Per-shard degree contribution (duplicates within the shard are
+    collapsed, matching CSR construction)."""
+    edges = np.asarray(edges, dtype=np.int64)
+    if len(edges):
+        canon = np.unique(
+            edges[:, 0] * np.int64(n_vertices) + edges[:, 1]
+        )
+        edges = np.column_stack(
+            [canon // n_vertices, canon % n_vertices]
+        )
+    return np.bincount(edges.ravel(), minlength=n_vertices).astype(
+        np.float64
+    )
+
+
+#: Measures whose field is an exact sum of per-shard contributions over
+#: an edge partition.  Anything else computes its field globally (the
+#: scalar field must be *global* for the tree to be identical — a
+#: shard-local k-core number is simply a different field).
+DIST_FIELD_MERGERS: Dict[str, object] = {"degree": shard_degree}
+
+
+# ----------------------------------------------------------------------
+# The executor
+# ----------------------------------------------------------------------
+class ShardedExecutor:
+    """Fans shard jobs over a :class:`StageRunner`; merges exactly.
+
+    Parameters
+    ----------
+    workers:
+        ``0`` runs shard jobs on a small in-process thread pool (the
+        test/teaching mode); ``N > 0`` uses a ``ProcessPoolExecutor``
+        of ``N`` workers for real parallelism.
+    runner:
+        An existing :class:`~repro.serve.workers.StageRunner` to borrow
+        (the server shares its own); when given, ``workers`` is ignored
+        and :meth:`shutdown` leaves the runner alive.
+    """
+
+    def __init__(self, workers: int = 0, *, runner=None) -> None:
+        from ..serve.workers import StageRunner
+
+        if runner is not None:
+            self.runner = runner
+            self._owns_runner = False
+        else:
+            self.runner = StageRunner(workers=workers)
+            self._owns_runner = True
+        self.stats: Dict[str, object] = {
+            "builds": 0,
+            "reduce_jobs": 0,
+            "reduce_cache_hits": 0,
+            "reduced_edges": 0,
+            "spliced_parents": 0,
+            "merge_seconds": 0.0,
+            "field_merges": 0,
+        }
+
+    @property
+    def workers(self) -> int:
+        return self.runner.workers
+
+    # ------------------------------------------------------------------
+    def _reduce_all(
+        self,
+        shards: Sequence[Shard],
+        rank: np.ndarray,
+        cache,
+        scalars_fp: Optional[str],
+    ) -> List[np.ndarray]:
+        """Per-shard merge forests, cache-first, misses fanned out."""
+        n = shards[0].n_vertices
+        forests: List[Optional[np.ndarray]] = [None] * len(shards)
+        keys: List[Optional[str]] = [None] * len(shards)
+        if cache is not None and scalars_fp is not None:
+            from ..engine.cache import stage_key
+
+            for i, shard in enumerate(shards):
+                keys[i] = stage_key(
+                    "dist-reduce",
+                    {"method": shard.method, "n_shards": shard.n_shards},
+                    shard.fingerprint(),
+                    scalars_fp,
+                )
+                hit = cache.get(keys[i])
+                if hit is not None:
+                    forests[i] = hit
+                    self.stats["reduce_cache_hits"] += 1
+        miss_idx = [i for i, f in enumerate(forests) if f is None]
+        if miss_idx:
+            self.stats["reduce_jobs"] += len(miss_idx)
+            results = self.runner.map_sync(
+                reduce_shard,
+                [(n, shards[i].edges, rank) for i in miss_idx],
+            )
+            for i, forest in zip(miss_idx, results):
+                forests[i] = forest
+                if cache is not None and keys[i] is not None:
+                    cache.put(keys[i], forest)
+        return forests  # type: ignore[return-value]
+
+    def build_tree(
+        self,
+        scalars: np.ndarray,
+        shards: Sequence[Shard],
+        *,
+        cache=None,
+        scalars_fingerprint: Optional[str] = None,
+    ) -> ScalarTree:
+        """The global vertex scalar tree of ``scalars`` over the union
+        of the shards' edges — node-for-node identical to
+        :func:`~repro.core.scalar_tree.build_vertex_tree` on the whole
+        graph.
+
+        ``cache`` (an :class:`~repro.engine.cache.ArtifactCache`) plus
+        ``scalars_fingerprint`` enable per-shard merge-forest reuse;
+        when the cache is shared with an :class:`engine.Pipeline` the
+        fingerprints agree with the pipeline's own field stage.
+        """
+        if not shards:
+            raise ValueError("at least one shard is required")
+        n = shards[0].n_vertices
+        scalars = np.asarray(scalars, dtype=np.float64)
+        if len(scalars) != n:
+            raise ValueError(
+                f"scalar field has {len(scalars)} entries for "
+                f"{n} vertices"
+            )
+        self.stats["builds"] += 1
+        __, rank = rank_order(scalars)
+
+        if cache is not None and scalars_fingerprint is None:
+            from ..engine.cache import fingerprint_array
+
+            scalars_fingerprint = fingerprint_array(scalars)
+        forests = self._reduce_all(shards, rank, cache, scalars_fingerprint)
+
+        t0 = time.perf_counter()
+        # Base: the largest shard's local forest, recovered from its
+        # merge forest alone (the reduction preserves it exactly).
+        base = max(range(len(shards)), key=lambda i: shards[i].n_edges)
+        base_parent = vertex_tree_parents(n, forests[base], rank)
+        reduced = (
+            np.concatenate(forests)
+            if any(len(f) for f in forests)
+            else np.empty((0, 2), dtype=np.int64)
+        )
+        global_parent = vertex_tree_parents(n, reduced, rank)
+        changed = np.flatnonzero(base_parent != global_parent)
+        tree = ScalarTree(base_parent, scalars, kind="vertex").spliced(
+            changed, global_parent[changed]
+        )
+        self.stats["merge_seconds"] += time.perf_counter() - t0
+        self.stats["reduced_edges"] += int(len(reduced))
+        self.stats["spliced_parents"] += int(len(changed))
+        self.stats["last_build"] = {
+            "n_shards": len(shards),
+            "method": shards[0].method,
+            "shard_edges": [int(s.n_edges) for s in shards],
+            "boundary_vertices": cut_vertices(shards),
+            "reduced_edges": int(len(reduced)),
+            "spliced_parents": int(len(changed)),
+        }
+        return tree
+
+    def merged_field(
+        self, measure: str, shards: Sequence[Shard]
+    ) -> Optional[np.ndarray]:
+        """The global field of a shard-mergeable measure, summed from
+        per-shard contributions; ``None`` when ``measure`` cannot be
+        merged over an edge partition (caller computes it globally)."""
+        job = DIST_FIELD_MERGERS.get(measure)
+        if job is None or not shards:
+            return None
+        if not all(shard.dedup_safe for shard in shards):
+            # Duplicate copies of an edge may straddle shards (range
+            # scatter of a raw file); per-shard dedup would then count
+            # them twice.  Correctness first: make the caller compute
+            # the field globally.
+            return None
+        n = shards[0].n_vertices
+        parts = self.runner.map_sync(
+            job, [(n, shard.edges) for shard in shards]
+        )
+        self.stats["field_merges"] += 1
+        total = np.zeros(n, dtype=np.float64)
+        for part in parts:
+            total += part
+        return total
+
+    def shutdown(self) -> None:
+        """Release the worker pool (borrowed runners are left alive)."""
+        if self._owns_runner:
+            self.runner.shutdown()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedExecutor(workers={self.workers}, "
+            f"builds={self.stats['builds']})"
+        )

@@ -1,0 +1,170 @@
+"""Planning: when to shard, how wide, and with which partitioner.
+
+The dist backend only pays off when the graph is big enough to amortize
+worker fan-out and the host actually has cores to fan out to.  `plan`
+turns the user-facing ``--dist {auto,off,N}`` knob into either ``None``
+(run single-process) or a :class:`DistPlan`, using three signals the
+ISSUE calls out:
+
+* **shard count / workers** — bounded by the host's usable cores
+  (``os.sched_getaffinity`` when available, so container CPU limits are
+  respected);
+* **cut size** — candidate partitions are actually *built* (the
+  partitioners are vectorized and cheap relative to one tree build) and
+  scored by edge balance plus boundary size;
+* **the registry ``cost`` field** — an expensive field (betweenness)
+  dominates end-to-end time, so sharding the tree stage is worth doing
+  on smaller graphs than for a cheap field.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from ..graph.csr import CSRGraph
+from .partition import PARTITIONERS, Shard, cut_vertices, partition_edges
+
+__all__ = ["DistPlan", "usable_cpus", "score_partition", "choose_partitioner", "plan"]
+
+#: ``--dist auto`` leaves graphs below this many edges single-process
+#: (scaled down by the measure's declared cost — see :func:`plan`).
+AUTO_MIN_EDGES = 50_000
+
+#: Relative weight of cut size against edge imbalance when scoring.
+_CUT_WEIGHT = 0.5
+
+
+@dataclass(frozen=True)
+class DistPlan:
+    """A resolved decision to shard: who, how wide, and why."""
+
+    partitioner: str
+    n_shards: int
+    workers: int
+    reason: str
+
+    def summary(self) -> dict:
+        return {
+            "partitioner": self.partitioner,
+            "n_shards": self.n_shards,
+            "workers": self.workers,
+            "reason": self.reason,
+        }
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def score_partition(shards: List[Shard]) -> float:
+    """Lower is better: edge imbalance + weighted relative cut size.
+
+    Imbalance is ``max shard edges / mean shard edges`` (1.0 = perfect);
+    cut is the fraction of vertices on any boundary.  The weighted sum
+    mirrors what the two quantities cost at run time: imbalance is
+    idle-worker time, cut size is merge-forest size.
+    """
+    if not shards:
+        return float("inf")
+    sizes = [s.n_edges for s in shards]
+    mean = sum(sizes) / len(sizes)
+    imbalance = (max(sizes) / mean) if mean else 1.0
+    n = shards[0].n_vertices
+    cut = (cut_vertices(shards) / n) if n else 0.0
+    return imbalance + _CUT_WEIGHT * cut
+
+
+def choose_partitioner(graph: CSRGraph, n_shards: int) -> str:
+    """Build every candidate partition and keep the best-scoring one
+    (ties go to the earlier name in :data:`PARTITIONERS`)."""
+    best, best_score = PARTITIONERS[0], float("inf")
+    for method in PARTITIONERS:
+        score = score_partition(partition_edges(graph, n_shards, method))
+        if score < best_score - 1e-12:
+            best, best_score = method, score
+    return best
+
+
+_COST_SCALE = {"cheap": 1.0, "moderate": 0.5, "expensive": 0.25}
+
+
+def plan(
+    dist: Union[None, str, int, DistPlan],
+    graph: Optional[CSRGraph] = None,
+    *,
+    measure_cost: str = "moderate",
+    partitioner: str = "auto",
+) -> Optional[DistPlan]:
+    """Resolve a ``--dist`` value to a :class:`DistPlan` (or ``None``).
+
+    ``dist`` is ``None``/``"off"``/``0`` (single-process), ``"auto"``
+    (shard when the graph and the host justify it), an explicit worker
+    count, or an already-resolved plan (returned as-is).
+    ``measure_cost`` is the registry spec's ``cost`` field; expensive
+    fields lower the auto threshold.  ``partitioner`` pins a method or
+    lets the cost model pick (``"auto"``, needs ``graph``).
+    """
+    if isinstance(dist, DistPlan):
+        return dist
+    if dist is None or dist == 0 or (isinstance(dist, str) and dist == "off"):
+        return None
+
+    if isinstance(dist, str):
+        if dist == "auto":
+            cpus = usable_cpus()
+            if cpus < 2:
+                return None
+            if graph is None:
+                raise ValueError("--dist auto needs the graph to decide")
+            threshold = AUTO_MIN_EDGES * _COST_SCALE.get(measure_cost, 0.5)
+            if graph.n_edges < threshold:
+                return None
+            workers = min(4, cpus)
+            reason = (
+                f"auto: {graph.n_edges} edges >= {threshold:.0f} "
+                f"({measure_cost} field), {cpus} usable cpus"
+            )
+        else:
+            try:
+                workers = int(dist)
+            except ValueError:
+                raise ValueError(
+                    f"--dist must be 'auto', 'off' or a worker count; "
+                    f"got {dist!r}"
+                )
+            return plan(
+                workers, graph,
+                measure_cost=measure_cost, partitioner=partitioner,
+            )
+    else:
+        workers = int(dist)
+        if workers < 0:
+            raise ValueError("--dist worker count must be >= 0")
+        if workers == 0:
+            return None
+        reason = f"explicit worker count {workers}"
+
+    n_shards = max(2, workers)
+    if partitioner == "auto":
+        method = (
+            choose_partitioner(graph, n_shards)
+            if graph is not None
+            else PARTITIONERS[0]
+        )
+    elif partitioner in PARTITIONERS:
+        method = partitioner
+    else:
+        raise ValueError(
+            f"unknown partitioner {partitioner!r}; choose from "
+            f"{', '.join(PARTITIONERS)} or 'auto'"
+        )
+    return DistPlan(
+        partitioner=method, n_shards=n_shards, workers=workers,
+        reason=reason,
+    )

@@ -255,6 +255,61 @@ class ArtifactCache:
             for path in self.directory.glob("*.json"):
                 path.unlink()
 
+    # ------------------------------------------------------------------
+    # Disk-tier accounting
+    # ------------------------------------------------------------------
+    def disk_stats(self) -> Dict[str, int]:
+        """Entry count and byte total of the disk tier (both 0 when the
+        cache is memory-only).  A glob per call — cheap next to any
+        build, but meant for ``/stats``-style instrumentation, not hot
+        paths."""
+        entries = 0
+        nbytes = 0
+        if self.directory is not None:
+            for path in self.directory.glob("*.json"):
+                try:
+                    nbytes += path.stat().st_size
+                except FileNotFoundError:
+                    continue  # concurrently pruned
+                entries += 1
+        return {"entries": entries, "bytes": nbytes}
+
+    def prune(self, max_bytes: int) -> Dict[str, int]:
+        """Shrink the disk tier to at most ``max_bytes`` by deleting the
+        least-recently-*written* entries first (mtime order — content
+        keys never change, so mtime is creation time and the oldest
+        artifacts are the stalest).
+
+        Long-lived sharded runs re-key per-shard artifacts whenever a
+        shard's edges or field change, so without pruning the disk tier
+        grows without bound.  Returns ``{"removed", "bytes"}`` — how
+        many entries went and how many bytes remain.  Memory-tier
+        entries are untouched; a pruned artifact that is requested
+        again is simply rebuilt (or re-persisted on its next put).
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        removed = 0
+        total = 0
+        if self.directory is None:
+            return {"removed": 0, "bytes": 0}
+        entries = []
+        for path in self.directory.glob("*.json"):
+            try:
+                stat = path.stat()
+            except FileNotFoundError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()  # oldest first
+        total = sum(size for __, size, __p in entries)
+        for __, size, path in entries:
+            if total <= max_bytes:
+                break
+            path.unlink(missing_ok=True)
+            total -= size
+            removed += 1
+        return {"removed": removed, "bytes": total}
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._memory)

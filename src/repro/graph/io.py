@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Tuple, Union
+from typing import Dict, Iterator, Tuple, Union
 
 import numpy as np
 
@@ -17,6 +17,7 @@ from .builders import from_edge_array
 from .csr import CSRGraph
 
 __all__ = [
+    "iter_edge_chunks",
     "read_edge_list",
     "write_edge_list",
     "read_vertex_scalars",
@@ -27,18 +28,52 @@ __all__ = [
 
 PathLike = Union[str, Path]
 
+#: Default edges per chunk for :func:`iter_edge_chunks` — 64k pairs is
+#: 1 MiB of int64 payload, small enough to bound streaming consumers
+#: and large enough to amortize the per-chunk numpy conversion.
+DEFAULT_CHUNK_EDGES = 65536
 
-def read_edge_list(path: PathLike, n_vertices: int = None) -> CSRGraph:
-    """Read a SNAP-style edge list (``u v`` per line, ``#`` comments)."""
-    pairs = []
+
+def iter_edge_chunks(
+    path: PathLike, chunk_edges: int = DEFAULT_CHUNK_EDGES
+) -> Iterator[np.ndarray]:
+    """Stream a SNAP-style edge list as ``(k, 2)`` int64 chunks.
+
+    Yields at most ``chunk_edges`` edges per array, so peak memory is
+    one chunk regardless of the file size — the primitive both
+    :func:`read_edge_list` and the out-of-core scatter
+    (:mod:`repro.dist.oocore`) are built on.  Comments (``#``) and
+    blank lines are skipped; extra columns beyond ``u v`` are ignored.
+    """
+    if chunk_edges < 1:
+        raise ValueError("chunk_edges must be >= 1")
+    buf: list = []
     with open(path) as handle:
         for line in handle:
             line = line.strip()
             if not line or line.startswith("#"):
                 continue
             u, v = line.split()[:2]
-            pairs.append((int(u), int(v)))
-    arr = np.array(pairs, dtype=np.int64).reshape(-1, 2)
+            buf.append((int(u), int(v)))
+            if len(buf) >= chunk_edges:
+                yield np.array(buf, dtype=np.int64)
+                buf = []
+    if buf:
+        yield np.array(buf, dtype=np.int64)
+
+
+def read_edge_list(path: PathLike, n_vertices: int = None) -> CSRGraph:
+    """Read a SNAP-style edge list (``u v`` per line, ``#`` comments).
+
+    Parsing goes through :func:`iter_edge_chunks`, so the transient
+    Python-tuple overhead is bounded to one chunk; only the packed
+    int64 edge array reaches full file size.
+    """
+    chunks = list(iter_edge_chunks(path))
+    if chunks:
+        arr = np.concatenate(chunks)
+    else:
+        arr = np.empty((0, 2), dtype=np.int64)
     return from_edge_array(arr, n_vertices=n_vertices)
 
 

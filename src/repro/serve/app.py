@@ -68,6 +68,8 @@ class ServeApp:
         levels: int = 3,
         bins: Optional[int] = None,
         scheme: str = "quantile",
+        dist=None,
+        max_disk_bytes: Optional[int] = None,
     ) -> None:
         self.cache = cache if cache is not None else ArtifactCache()
         self.runner = runner if runner is not None else StageRunner()
@@ -75,6 +77,13 @@ class ServeApp:
         self.levels = levels
         self.bins = bins
         self.scheme = scheme
+        # Sharded engine: forwarded to every in-process Pipeline.  In
+        # process mode the builds already run in a worker pool, so the
+        # dist backend stays off there (no nested process pools).
+        self.dist = dist
+        # Disk-tier budget: pruned after every cold build funnel so a
+        # long-lived server's cache directory cannot grow unboundedly.
+        self.max_disk_bytes = max_disk_bytes
         self.datasets: Dict[str, _DatasetEntry] = {}
         self.sessions: Dict[str, StreamSession] = {}
         self._pyramids: Dict[Tuple[str, str], LODPyramid] = {}
@@ -185,6 +194,7 @@ class ServeApp:
                 bins=self.bins,
                 scheme=self.scheme,
                 cache=self.cache,
+                dist=None if self.runner.uses_processes else self.dist,
             )
             pyramid = LODPyramid(
                 pipeline, tile_size=self.tile_size, levels=self.levels
@@ -214,6 +224,8 @@ class ServeApp:
                 run_key, self.pyramid(entry, measure).ensure_levels
             )
         self._ready[key] = ready
+        if self.max_disk_bytes is not None:
+            self.cache.prune(self.max_disk_bytes)
         return ready
 
     async def _job(self, entry, measure, kind, local_fn, worker_fn, *args):
@@ -262,21 +274,45 @@ class ServeApp:
         return Response.json_({"ok": True})
 
     async def _get_stats(self, request: Request) -> Response:
-        return Response.json_(
-            {
-                "cache": dict(
-                    self.cache.stats,
-                    entries=len(self.cache),
-                    memory_bytes=self.cache.memory_bytes,
-                    max_memory_bytes=self.cache.max_memory_bytes,
+        payload = {
+            "cache": dict(
+                self.cache.stats,
+                entries=len(self.cache),
+                memory_bytes=self.cache.memory_bytes,
+                max_memory_bytes=self.cache.max_memory_bytes,
+                disk=dict(
+                    self.cache.disk_stats(),
+                    max_bytes=self.max_disk_bytes,
                 ),
-                "runner": dict(
-                    self.runner.stats, workers=self.runner.workers
-                ),
-                "warm_tiles": len(self._payloads),
-                "uptime_s": time.time() - self._started,
-            }
-        )
+            ),
+            "runner": dict(
+                self.runner.stats, workers=self.runner.workers
+            ),
+            "warm_tiles": len(self._payloads),
+            "uptime_s": time.time() - self._started,
+        }
+        if self.dist is not None:
+            # Shard summary per built pipeline (in process mode the
+            # dist backend is off in workers; say so instead of lying).
+            if self.runner.uses_processes:
+                payload["dist"] = {
+                    "requested": str(self.dist),
+                    "active": False,
+                    "note": "dist backend disabled under process-mode "
+                            "workers (no nested pools)",
+                }
+            else:
+                payload["dist"] = {
+                    "requested": str(self.dist),
+                    "pipelines": {
+                        f"{name}:{measure}": stats
+                        for (name, measure), pyramid
+                        in self._pyramids.items()
+                        for stats in [pyramid.pipeline.dist_stats()]
+                        if stats is not None
+                    },
+                }
+        return Response.json_(payload)
 
     async def _get_datasets(self, request: Request) -> Response:
         rows = []

@@ -1,0 +1,168 @@
+"""Partitioner invariants: exact cover, determinism, boundaries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist import (
+    PARTITIONERS,
+    Shard,
+    boundary_sets,
+    cut_vertices,
+    partition_edges,
+)
+from repro.dist.partition import degree_owners
+from repro.graph import generators
+
+
+def _graph():
+    return generators.powerlaw_cluster(300, 2, 0.3, seed=11)
+
+
+def _edge_key_set(edges: np.ndarray):
+    return set(map(tuple, edges.tolist()))
+
+
+@pytest.mark.parametrize("method", PARTITIONERS)
+@pytest.mark.parametrize("n_shards", [1, 2, 3, 5])
+class TestExactCover:
+    def test_shards_partition_the_edge_set(self, method, n_shards):
+        graph = _graph()
+        shards = partition_edges(graph, n_shards, method)
+        assert len(shards) == n_shards
+        assert sum(s.n_edges for s in shards) == graph.n_edges
+        union = set()
+        for shard in shards:
+            keys = _edge_key_set(shard.edges)
+            assert len(keys) == shard.n_edges  # no dupes inside a shard
+            assert not (union & keys)          # disjoint across shards
+            union |= keys
+        assert union == _edge_key_set(graph.edge_array())
+
+    def test_deterministic(self, method, n_shards):
+        graph = _graph()
+        a = partition_edges(graph, n_shards, method)
+        b = partition_edges(graph, n_shards, method)
+        for sa, sb in zip(a, b):
+            assert np.array_equal(sa.edges, sb.edges)
+            assert np.array_equal(sa.boundary, sb.boundary)
+
+
+@pytest.mark.parametrize("method", PARTITIONERS)
+def test_boundary_is_exactly_the_shared_vertices(method):
+    graph = _graph()
+    shards = partition_edges(graph, 3, method)
+    seen = {}
+    for shard in shards:
+        for v in np.unique(shard.edges).tolist():
+            seen.setdefault(v, set()).add(shard.shard_id)
+    for shard in shards:
+        expected = sorted(
+            v for v, owners in seen.items()
+            if shard.shard_id in owners and len(owners) >= 2
+        )
+        assert shard.boundary.tolist() == expected
+    assert cut_vertices(shards) == sum(
+        1 for owners in seen.values() if len(owners) >= 2
+    )
+
+
+def test_single_shard_has_empty_boundary():
+    shards = partition_edges(_graph(), 1, "hash")
+    assert len(shards) == 1
+    assert len(shards[0].boundary) == 0
+    assert cut_vertices(shards) == 0
+
+
+def test_range_is_contiguous_and_balanced():
+    graph = _graph()
+    shards = partition_edges(graph, 4, "range")
+    sizes = [s.n_edges for s in shards]
+    assert max(sizes) - min(sizes) <= 1
+    # Contiguity: each shard's edges are one slice of the canonical order.
+    canonical = graph.edge_array()
+    offset = 0
+    for shard in shards:
+        assert np.array_equal(
+            shard.edges, canonical[offset: offset + shard.n_edges]
+        )
+        offset += shard.n_edges
+
+
+def test_degree_owner_loads_are_balanced():
+    degrees = np.array([9, 1, 1, 1, 8, 1, 1, 1, 7, 1])
+    owners = degree_owners(degrees, 3)
+    loads = np.zeros(3)
+    np.add.at(loads, owners, degrees)
+    # LPT greedy: no shard may exceed the mean by more than one vertex.
+    assert loads.max() - loads.min() <= degrees.max()
+
+
+def test_manifest_is_self_describing():
+    graph = _graph()
+    shard = partition_edges(graph, 2, "degree")[1]
+    doc = shard.manifest()
+    assert doc["format"] == "repro-dist-shard/1"
+    assert doc["shard_id"] == 1 and doc["n_shards"] == 2
+    assert doc["n_vertices"] == graph.n_vertices
+    assert doc["n_edges"] == shard.n_edges
+    assert doc["method"] == "degree"
+    assert doc["boundary_vertices"] == len(shard.boundary)
+    assert doc["sha256"] == shard.fingerprint()
+    # Fingerprint is content-based: same edges, same hash.
+    clone = Shard(1, 2, graph.n_vertices, shard.edges.copy(),
+                  shard.boundary, "degree")
+    assert clone.fingerprint() == doc["sha256"]
+
+
+def test_fragment_keeps_global_ids():
+    graph = _graph()
+    shard = partition_edges(graph, 3, "hash")[0]
+    frag = shard.fragment()
+    assert frag.n_vertices == graph.n_vertices
+    assert frag.n_edges == shard.n_edges
+    for u, v in shard.edges[:20].tolist():
+        assert frag.has_edge(u, v)
+
+
+def test_raw_edge_array_input_requires_n_vertices():
+    edges = _graph().edge_array()
+    with pytest.raises(ValueError):
+        partition_edges(edges, 2, "hash")
+    shards = partition_edges(edges, 2, "hash", n_vertices=300)
+    assert sum(s.n_edges for s in shards) == len(edges)
+
+
+def test_rejects_bad_arguments():
+    graph = _graph()
+    with pytest.raises(ValueError):
+        partition_edges(graph, 0, "hash")
+    with pytest.raises(ValueError):
+        partition_edges(graph, 2, "metis")
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(8, 60),
+    m=st.integers(0, 120),
+    n_shards=st.integers(1, 5),
+    method=st.sampled_from(PARTITIONERS),
+    seed=st.integers(0, 5),
+)
+def test_property_every_edge_lands_exactly_once(n, m, n_shards, method, seed):
+    m = min(m, n * (n - 1) // 2)
+    graph = generators.erdos_renyi(n, m, seed=seed)
+    shards = partition_edges(graph, n_shards, method)
+    together = (
+        np.concatenate([s.edges for s in shards])
+        if graph.n_edges
+        else np.empty((0, 2), dtype=np.int64)
+    )
+    assert len(together) == graph.n_edges
+    assert _edge_key_set(together) == _edge_key_set(graph.edge_array())
+
+
+def test_boundary_sets_empty_graph():
+    out = boundary_sets([np.empty((0, 2), np.int64)] * 2, 5)
+    assert all(len(b) == 0 for b in out)

@@ -1,0 +1,117 @@
+"""The --dist cost model: off/auto/N resolution and partitioner choice."""
+
+import importlib
+
+import pytest
+
+from repro.dist import DistPlan, choose_partitioner, plan, usable_cpus
+from repro.dist.plan import AUTO_MIN_EDGES, score_partition
+from repro.dist import partition_edges
+from repro.graph import generators
+
+
+def _graph(n=300):
+    return generators.powerlaw_cluster(n, 2, 0.3, seed=2)
+
+
+class TestResolution:
+    def test_off_values(self):
+        for dist in (None, "off", 0):
+            assert plan(dist) is None
+
+    def test_explicit_worker_count(self):
+        p = plan(3, _graph())
+        assert p is not None
+        assert p.workers == 3 and p.n_shards == 3
+        assert p.partitioner in ("hash", "range", "degree")
+
+    def test_worker_count_one_still_gets_two_shards(self):
+        assert plan(1, _graph()).n_shards == 2
+
+    def test_plan_passthrough(self):
+        fixed = DistPlan("hash", 4, 2, "pinned")
+        assert plan(fixed) is fixed
+
+    def test_numeric_string(self):
+        assert plan("2", _graph()).workers == 2
+
+    def test_bad_values(self):
+        with pytest.raises(ValueError):
+            plan("banana", _graph())
+        with pytest.raises(ValueError):
+            plan(-1, _graph())
+        with pytest.raises(ValueError):
+            plan(2, _graph(), partitioner="metis")
+
+    def test_explicit_partitioner_pins_method(self):
+        assert plan(2, _graph(), partitioner="degree").partitioner == "degree"
+
+    def test_explicit_count_needs_no_graph_when_pinned(self):
+        p = plan(2, None, partitioner="hash")
+        assert p.partitioner == "hash"
+
+
+class TestAuto:
+    def test_small_graph_stays_single_process(self):
+        graph = _graph()
+        assert graph.n_edges < AUTO_MIN_EDGES
+        if usable_cpus() >= 2:
+            assert plan("auto", graph) is None
+
+    def test_auto_needs_graph(self):
+        if usable_cpus() < 2:
+            pytest.skip("single-CPU host resolves auto to None first")
+        with pytest.raises(ValueError):
+            plan("auto", None)
+
+    def test_single_cpu_host_never_shards(self, monkeypatch):
+        plan_mod = importlib.import_module("repro.dist.plan")
+
+        monkeypatch.setattr(plan_mod, "usable_cpus", lambda: 1)
+        assert plan("auto", _graph()) is None
+
+    def test_big_graph_on_multicore_host_shards(self, monkeypatch):
+        plan_mod = importlib.import_module("repro.dist.plan")
+
+        monkeypatch.setattr(plan_mod, "usable_cpus", lambda: 8)
+        graph = generators.powerlaw_cluster(2000, 2, 0.3, seed=1)
+        p = plan(
+            "auto", graph, measure_cost="expensive"
+        )  # threshold scaled down for expensive fields
+        if graph.n_edges >= AUTO_MIN_EDGES * 0.25:
+            assert p is not None and p.workers == 4
+        else:  # pragma: no cover - generator produced a tiny graph
+            assert p is None
+
+    def test_cost_scales_the_threshold(self, monkeypatch):
+        plan_mod = importlib.import_module("repro.dist.plan")
+
+        monkeypatch.setattr(plan_mod, "usable_cpus", lambda: 8)
+        graph = generators.powerlaw_cluster(8000, 2, 0.3, seed=1)
+        assert graph.n_edges < AUTO_MIN_EDGES
+        assert graph.n_edges >= AUTO_MIN_EDGES * 0.25
+        assert plan("auto", graph, measure_cost="cheap") is None
+        assert plan("auto", graph, measure_cost="expensive") is not None
+
+
+class TestCostModel:
+    def test_score_prefers_smaller_cut_at_equal_balance(self):
+        graph = _graph()
+        scores = {
+            m: score_partition(partition_edges(graph, 3, m))
+            for m in ("hash", "range", "degree")
+        }
+        chosen = choose_partitioner(graph, 3)
+        assert scores[chosen] == min(scores.values())
+
+    def test_empty_partition_scores_infinite(self):
+        assert score_partition([]) == float("inf")
+
+    def test_plan_summary_round_trips(self):
+        p = DistPlan("range", 4, 2, "because")
+        assert p.summary() == {
+            "partitioner": "range",
+            "n_shards": 4,
+            "workers": 2,
+            "reason": "because",
+        }

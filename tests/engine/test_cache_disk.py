@@ -1,0 +1,90 @@
+"""Disk-tier accounting: disk_stats() and prune(max_bytes)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import ArtifactCache
+
+
+def _fill(cache: ArtifactCache, n: int, size: int = 64) -> list:
+    keys = []
+    for i in range(n):
+        key = f"k{i:04d}"
+        cache.put(key, np.full(size, float(i)))
+        keys.append(key)
+    return keys
+
+
+class TestDiskStats:
+    def test_memory_only_cache_reports_zero(self):
+        cache = ArtifactCache()
+        _fill(cache, 3)
+        assert cache.disk_stats() == {"entries": 0, "bytes": 0}
+
+    def test_counts_entries_and_bytes(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        _fill(cache, 4)
+        stats = cache.disk_stats()
+        assert stats["entries"] == 4
+        expected = sum(p.stat().st_size for p in tmp_path.glob("*.json"))
+        assert stats["bytes"] == expected > 0
+
+    def test_memory_only_artifacts_do_not_count(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("mem", np.ones(8), disk=False)
+        assert cache.disk_stats()["entries"] == 0
+
+
+class TestPrune:
+    def test_prunes_oldest_first(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        keys = _fill(cache, 5)
+        # Make the write order unambiguous for the mtime sort.
+        for i, key in enumerate(keys):
+            path = tmp_path / f"{key}.json"
+            stamp = time.time() - (5 - i) * 10
+            import os
+
+            os.utime(path, (stamp, stamp))
+        per_entry = cache.disk_stats()["bytes"] // 5
+        result = cache.prune(per_entry * 2)
+        assert result["removed"] == 3
+        survivors = sorted(p.stem for p in tmp_path.glob("*.json"))
+        assert survivors == keys[3:]
+        assert cache.disk_stats()["bytes"] == result["bytes"] <= per_entry * 2
+
+    def test_prune_to_zero_empties_the_tier(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        _fill(cache, 3)
+        result = cache.prune(0)
+        assert result == {"removed": 3, "bytes": 0}
+        assert cache.disk_stats() == {"entries": 0, "bytes": 0}
+
+    def test_prune_within_budget_is_a_noop(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        _fill(cache, 3)
+        before = cache.disk_stats()
+        assert cache.prune(before["bytes"])["removed"] == 0
+        assert cache.disk_stats() == before
+
+    def test_pruned_entry_rebuilds_through_get(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("gone", np.arange(4.0))
+        cache.clear()  # drop the memory tier, keep disk
+        cache.prune(0)
+        assert cache.get("gone") is None  # clean miss, not an error
+
+    def test_memory_only_prune_is_safe(self):
+        assert ArtifactCache().prune(0) == {"removed": 0, "bytes": 0}
+
+    def test_negative_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ArtifactCache(tmp_path).prune(-1)
+
+    def test_memory_tier_survives_prune(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("hot", np.arange(8.0))
+        cache.prune(0)
+        assert np.array_equal(cache.get("hot"), np.arange(8.0))

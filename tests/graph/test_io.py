@@ -5,6 +5,7 @@ import pytest
 
 from repro.graph import from_edges
 from repro.graph.io import (
+    iter_edge_chunks,
     read_edge_list,
     read_edge_scalars,
     read_vertex_scalars,
@@ -17,6 +18,44 @@ from repro.graph.io import (
 @pytest.fixture
 def small():
     return from_edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+
+
+class TestIterEdgeChunks:
+    def test_chunks_bound_and_concatenate_to_the_file(self, tmp_path):
+        path = tmp_path / "g.txt"
+        pairs = [(i, i + 1) for i in range(10)] + [(0, 5), (2, 9)]
+        path.write_text(
+            "# header\n"
+            + "\n".join(f"{u} {v}" for u, v in pairs)
+            + "\n\n# trailing comment\n"
+        )
+        chunks = list(iter_edge_chunks(path, chunk_edges=5))
+        assert [len(c) for c in chunks] == [5, 5, 2]
+        assert np.concatenate(chunks).tolist() == [list(p) for p in pairs]
+
+    def test_matches_read_edge_list(self, small, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edge_list(small, path)
+        streamed = np.concatenate(list(iter_edge_chunks(path, 2)))
+        assert read_edge_list(path) == from_edges(map(tuple, streamed))
+
+    def test_empty_file_yields_nothing(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# only comments\n\n")
+        assert list(iter_edge_chunks(path)) == []
+        assert read_edge_list(path).n_vertices == 0
+
+    def test_extra_columns_ignored(self, tmp_path):
+        path = tmp_path / "w.txt"
+        path.write_text("0 1 3.5\n1 2 0.1\n")
+        (chunk,) = iter_edge_chunks(path)
+        assert chunk.tolist() == [[0, 1], [1, 2]]
+
+    def test_invalid_chunk_size(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(ValueError):
+            list(iter_edge_chunks(path, chunk_edges=0))
 
 
 class TestEdgeList:
