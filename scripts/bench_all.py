@@ -4,13 +4,18 @@
 Each ``benchmarks/bench_*.py`` runs in its own pytest process (so one
 bench's failure or import problem can't sink the rest) with the caller's
 environment — set ``REPRO_BENCH_TINY=1`` for CI-smoke sizes and
-``REPRO_ACCEL`` to pin a kernel backend.  Results land in
-``BENCH_PR5.json``:
+``REPRO_ACCEL`` to pin a kernel backend.  Every bench subprocess also
+runs with ``$REPRO_TRACE`` pointed at a per-bench JSONL sink under
+``benchmarks/out/``, so repro.obs spans from the instrumented layers
+are captured without any bench opting in.  Results land in
+``BENCH_PR6.json``:
 
 * ``benches`` — per-file wall time and exit status;
 * ``speedups`` — the vector-vs-naive kernel speedups and the
   sharded-vs-single dist scaling curves (merged from
   ``benchmarks/out/accel_*.json`` and ``benchmarks/out/dist_*.json``);
+* ``span_rollups`` — per-span-name p50/p95/max/total ms over all spans
+  traced across the run (see :func:`repro.obs.trace.rollup`);
 * ``env`` — the knobs that shaped the run.
 
 Future PRs diff this file against their own run to keep a perf
@@ -37,14 +42,20 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_DIR = REPO_ROOT / "benchmarks"
 OUT_DIR = BENCH_DIR / "out"
 
+sys.path.insert(0, str(REPO_ROOT / "src"))  # for repro.obs.trace.rollup
 
-def run_bench(path: Path, pytest_args: list) -> dict:
+
+def run_bench(path: Path, pytest_args: list, trace_path: Path) -> dict:
     env = dict(os.environ)
     src = str(REPO_ROOT / "src")
     env["PYTHONPATH"] = (
         src + os.pathsep + env["PYTHONPATH"]
         if env.get("PYTHONPATH") else src
     )
+    # Fresh per-bench trace sink: repro.obs enables itself in the child
+    # when $REPRO_TRACE is set (see repro/obs/trace.py).
+    trace_path.unlink(missing_ok=True)
+    env["REPRO_TRACE"] = str(trace_path)
     t0 = time.perf_counter()
     proc = subprocess.run(
         [sys.executable, "-m", "pytest", "-q", str(path)] + pytest_args,
@@ -86,7 +97,7 @@ def main(argv=None) -> int:
         help="run only bench files whose name contains SUBSTRING",
     )
     parser.add_argument(
-        "--output", default=str(REPO_ROOT / "BENCH_PR5.json"),
+        "--output", default=str(REPO_ROOT / "BENCH_PR6.json"),
         help="consolidated ledger path (default: %(default)s)",
     )
     parser.add_argument(
@@ -102,13 +113,18 @@ def main(argv=None) -> int:
         print("no benchmark files matched", file=sys.stderr)
         return 2
 
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
     started = time.time()
     benches = {}
+    traces = []
     failed = []
     for path in files:
         print(f"[bench_all] {path.name} ...", flush=True)
-        result = run_bench(path, args.pytest_args)
+        trace_path = OUT_DIR / f"trace_{path.stem}.jsonl"
+        result = run_bench(path, args.pytest_args, trace_path)
         benches[path.name] = result
+        if trace_path.exists():
+            traces.append(trace_path)
         status = "ok" if result["exit_code"] == 0 else "FAIL"
         print(
             f"[bench_all] {path.name}: {status} in {result['seconds']:.1f}s "
@@ -118,9 +134,19 @@ def main(argv=None) -> int:
         if result["exit_code"] != 0:
             failed.append(path.name)
 
+    from repro.obs import trace as obs_trace
+
+    records = []
+    for trace_path in traces:
+        try:
+            records.extend(obs_trace.read_jsonl(trace_path))
+        except ValueError as exc:
+            print(f"[bench_all] skipping bad trace: {exc}", file=sys.stderr)
+
     ledger = {
         "benches": benches,
         "speedups": collect_speedups(not_before=started - 1.0),
+        "span_rollups": obs_trace.rollup(records),
         "env": {
             "tiny": os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0"),
             "accel": os.environ.get("REPRO_ACCEL", "auto") or "auto",

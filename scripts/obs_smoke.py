@@ -1,0 +1,208 @@
+#!/usr/bin/env python
+"""CI smoke test for repro.obs: trace a real CLI run, scrape /metrics.
+
+Two legs, both against subprocesses (so the instrumentation is proven
+end to end, not just in-process):
+
+1. ``repro terrain --trace trace.jsonl`` on a tiny edge list — assert
+   the trace is schema-valid JSONL, covers every pipeline stage plus
+   cache get/put events, nests spans under the ``cli.terrain`` root,
+   and converts to loadable Chrome ``trace_event`` JSON.
+2. ``repro serve`` with ``--trace`` — scrape ``GET /metrics`` and
+   assert the Prometheus exposition parses and carries the core metric
+   families (cache hits/misses, HTTP latency histogram, uptime gauge),
+   and that ``/stats`` exposes the span rollup section and every
+   response carries an ``X-Request-Id``.
+
+Exit code 0 on success.  Usage::
+
+    PYTHONPATH=src python scripts/obs_smoke.py
+"""
+
+import http.client
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+REQUIRED_SPAN_KEYS = {"name", "id", "parent", "ts_us", "dur_us", "pid", "tid", "attrs"}
+REQUIRED_STAGES = {
+    "stage.source", "stage.field", "stage.tree",
+    "stage.display", "stage.layout", "stage.heightfield",
+}
+REQUIRED_FAMILIES = {
+    "repro_cache_hits_total",
+    "repro_cache_misses_total",
+    "repro_http_responses_total",
+    "repro_http_request_seconds",
+    "repro_serve_uptime_seconds",
+}
+
+
+def get(port, url, headers=None, timeout=120):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        conn.request("GET", url, headers=headers or {})
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        conn.close()
+
+
+def child_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    return env
+
+
+def check_trace(tmp: Path, edge_list: Path) -> None:
+    from repro.obs import trace as obs_trace
+
+    trace_path = tmp / "trace.jsonl"
+    out_png = tmp / "terrain.png"
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "terrain",
+            "--edge-list", str(edge_list),
+            "--measure", "kcore",
+            "--resolution", "32", "--width", "64", "--height", "48",
+            "-o", str(out_png),
+            "--trace", str(trace_path),
+        ],
+        env=child_env(), cwd=str(REPO),
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+    )
+    assert proc.returncode == 0, proc.stdout.decode(errors="replace")
+    assert out_png.exists(), "terrain render missing"
+
+    records = obs_trace.read_jsonl(trace_path)
+    assert records, "trace file is empty"
+    by_id = {}
+    for record in records:
+        missing = REQUIRED_SPAN_KEYS - set(record)
+        assert not missing, f"span record missing {missing}: {record}"
+        by_id[record["id"]] = record
+    names = {r["name"] for r in records}
+    assert REQUIRED_STAGES <= names, f"stages missing: {REQUIRED_STAGES - names}"
+    assert "cache.get" in names and "cache.put" in names, names
+    print(f"[ok] trace covers {sorted(names)}")
+
+    roots = [r for r in records if r["parent"] is None]
+    assert [r["name"] for r in roots] == ["cli.terrain"], roots
+    for record in records:
+        if record["parent"] is not None:
+            assert record["parent"] in by_id, f"orphan span {record}"
+    print(f"[ok] {len(records)} spans, single cli.terrain root, no orphans")
+
+    chrome_path = tmp / "trace.chrome.json"
+    trace = obs_trace.chrome_trace_from_jsonl(trace_path, chrome_path)
+    reloaded = json.loads(chrome_path.read_text())
+    assert reloaded["traceEvents"] == trace["traceEvents"]
+    for event in reloaded["traceEvents"]:
+        assert event["ph"] == "X" and event["dur"] >= 0, event
+    print(f"[ok] Chrome trace: {len(reloaded['traceEvents'])} events")
+
+
+def check_metrics(tmp: Path, edge_list: Path) -> None:
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--datasets", "",
+            "--edge-list", f"toy={edge_list}",
+            "--measures", "kcore",
+            "--tile-size", "16", "--levels", "2",
+            "--trace", str(tmp / "serve_trace.jsonl"),
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=child_env(),
+    )
+    try:
+        line = proc.stdout.readline()
+        print(f"[server] {line.rstrip()}")
+        match = re.search(r"http://[\d.]+:(\d+)", line)
+        assert match, f"no listening banner in: {line!r}"
+        port = int(match.group(1))
+        deadline = time.time() + 60
+        while True:
+            try:
+                status, _, _ = get(port, "/healthz", timeout=5)
+                if status == 200:
+                    break
+            except OSError:
+                pass
+            assert time.time() < deadline, "server never became healthy"
+            time.sleep(0.2)
+
+        # Generate some traffic: a tile build, a 404.
+        status, headers, _ = get(port, "/t/toy/kcore/0/0/0")
+        assert status == 200, status
+        assert headers.get("X-Request-Id"), "tile response lacks X-Request-Id"
+        status, headers, _ = get(port, "/t/toy/kcore/9/0/0")
+        assert status == 404 and headers.get("X-Request-Id")
+        print("[ok] X-Request-Id on 200 and 404 responses")
+
+        status, headers, body = get(port, "/metrics")
+        assert status == 200, status
+        assert headers["Content-Type"].startswith("text/plain"), headers
+        text = body.decode()
+        families = set()
+        for line in text.splitlines():
+            if line.startswith("# TYPE "):
+                _, _, name, kind = line.split(" ", 3)
+                assert kind in ("counter", "gauge", "histogram"), line
+                families.add(name)
+            elif line and not line.startswith("#"):
+                assert re.fullmatch(
+                    r'[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? \S+', line
+                ), f"bad exposition line: {line!r}"
+        missing = REQUIRED_FAMILIES - families
+        assert not missing, f"metric families missing: {missing}"
+        assert 'repro_http_request_seconds_bucket{le="+Inf"}' in text
+        assert "repro_tiles_served_total" in text
+        print(f"[ok] /metrics exposes {len(families)} families incl. core set")
+
+        status, _, body = get(port, "/stats")
+        stats = json.loads(body)
+        assert "spans" in stats, sorted(stats)
+        assert "http.request" in stats["spans"], stats["spans"].keys()
+        assert stats["uptime_s"] >= 0
+        print(f"[ok] /stats span rollup: {sorted(stats['spans'])}")
+        return
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
+def main() -> int:
+    from repro.graph import from_edges
+    from repro.graph.io import write_edge_list
+
+    tmp = Path(tempfile.mkdtemp(prefix="repro-obs-smoke-"))
+    graph = from_edges(
+        [(i, j) for i in range(6) for j in range(i + 1, 6)]
+        + [(5, 6), (6, 7), (7, 8)]
+    )
+    edge_list = tmp / "toy.txt"
+    write_edge_list(graph, edge_list)
+
+    check_trace(tmp, edge_list)
+    check_metrics(tmp, edge_list)
+    print("obs smoke: tracing and metrics healthy")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

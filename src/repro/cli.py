@@ -43,6 +43,8 @@ import numpy as np
 
 from . import accel
 from .core import global_correlation_index, outlier_score
+from .obs import metrics as obs_metrics
+from .obs import trace as obs_trace
 from .engine import (
     ArtifactCache,
     DatasetSource,
@@ -155,6 +157,22 @@ def _add_common(
              "are identical to single-process (default: off)",
     )
     _add_accel(parser)
+    _add_obs(parser)
+
+
+def _add_obs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="enable repro.obs tracing and append span records (JSONL) "
+             "to PATH; convert with repro.obs.trace.chrome_trace_from_jsonl "
+             "for chrome://tracing / Perfetto (default: $REPRO_TRACE "
+             "if set, else off)",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print the repro.obs metrics registry (Prometheus text "
+             "format) to stderr on exit",
+    )
 
 
 def _add_accel(parser: argparse.ArgumentParser) -> None:
@@ -235,6 +253,7 @@ def _cmd_dist_build(args) -> int:
     import time as time_mod
 
     from .core.serialize import save_tree
+    from .engine.pipeline import STAGE_BUILD_SECONDS
     from .dist import (
         DistPlan,
         ShardedExecutor,
@@ -328,6 +347,9 @@ def _cmd_dist_build(args) -> int:
         finally:
             pipeline.close_dist()
     seconds = time_mod.perf_counter() - t0
+    # Same number the print below reports, mirrored into the global
+    # registry so --metrics and /metrics tell the same story.
+    STAGE_BUILD_SECONDS.observe(seconds, stage="dist_build")
 
     print(f"dist-build {args.measure}: {tree.n_nodes} nodes, "
           f"{len(tree.roots)} roots in {seconds:.2f}s")
@@ -776,6 +798,7 @@ def build_parser() -> argparse.ArgumentParser:
              "each cold build (default: unbounded)",
     )
     _add_accel(serve)
+    _add_obs(serve)
     serve.set_defaults(func=_cmd_serve)
     return parser
 
@@ -786,7 +809,22 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "accel", None):
         accel.set_backend(args.accel)
-    return args.func(args)
+    exporter = None
+    if getattr(args, "trace", None):
+        exporter = obs_trace.JSONLExporter(args.trace)
+        obs_trace.add_exporter(exporter)
+        obs_trace.set_enabled(True)
+    try:
+        with obs_trace.span(f"cli.{args.command}"):
+            return args.func(args)
+    finally:
+        if exporter is not None:
+            obs_trace.set_enabled(False)
+            obs_trace.remove_exporter(exporter)
+            exporter.close()
+            print(f"trace -> {args.trace}", file=sys.stderr)
+        if getattr(args, "metrics", False):
+            print(obs_metrics.REGISTRY.render(), file=sys.stderr, end="")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -43,6 +43,8 @@ import numpy as np
 
 from ..accel.tree import rank_order, vertex_tree_parents
 from ..core.scalar_tree import ScalarTree
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .partition import Shard, cut_vertices
 
 __all__ = [
@@ -51,6 +53,26 @@ __all__ = [
     "shard_degree",
     "ShardedExecutor",
 ]
+
+# Process-wide dist metrics (repro.obs).  The executor's per-instance
+# ``stats`` dict keeps its shape (serve /stats and the CLI print it);
+# every increment is mirrored here so /metrics sees one global truth.
+_M_BUILDS = obs_metrics.REGISTRY.counter(
+    "repro_dist_builds_total", "Sharded tree builds."
+)
+_M_REDUCE_JOBS = obs_metrics.REGISTRY.counter(
+    "repro_dist_reduce_jobs_total", "Per-shard merge-forest reduce jobs run."
+)
+_M_REDUCE_HITS = obs_metrics.REGISTRY.counter(
+    "repro_dist_reduce_cache_hits_total",
+    "Per-shard merge forests served from the artifact cache.",
+)
+_M_REDUCE_SECONDS = obs_metrics.REGISTRY.histogram(
+    "repro_dist_reduce_seconds", "Wall time of one shard-reduce fan-out."
+)
+_M_MERGE_SECONDS = obs_metrics.REGISTRY.histogram(
+    "repro_dist_merge_seconds", "Global merge + splice time per build."
+)
 
 
 # ----------------------------------------------------------------------
@@ -107,6 +129,18 @@ def reduce_shard(
     return np.ascontiguousarray(
         pairs[eorder[np.array(kept, dtype=np.int64)]]
     )
+
+
+def _reduce_shard_traced(
+    n_vertices: int, edges: np.ndarray, rank: np.ndarray, shard_index: int
+) -> np.ndarray:
+    """Thread-mode traced reduce: the caller's context (and so the
+    parent span id) is copied into the worker thread by
+    :meth:`StageRunner.map_sync`, so this span nests under the build's."""
+    with obs_trace.span(
+        "dist.reduce_shard", shard=shard_index, edges=int(len(edges))
+    ):
+        return reduce_shard(n_vertices, edges, rank)
 
 
 def shard_degree(n_vertices: int, edges: np.ndarray) -> np.ndarray:
@@ -199,18 +233,61 @@ class ShardedExecutor:
                 if hit is not None:
                     forests[i] = hit
                     self.stats["reduce_cache_hits"] += 1
+                    _M_REDUCE_HITS.inc()
         miss_idx = [i for i, f in enumerate(forests) if f is None]
         if miss_idx:
             self.stats["reduce_jobs"] += len(miss_idx)
-            results = self.runner.map_sync(
-                reduce_shard,
-                [(n, shards[i].edges, rank) for i in miss_idx],
-            )
+            _M_REDUCE_JOBS.inc(len(miss_idx))
+            with _M_REDUCE_SECONDS.time():
+                results = self._fan_out_reduces(miss_idx, shards, rank, n)
             for i, forest in zip(miss_idx, results):
                 forests[i] = forest
                 if cache is not None and keys[i] is not None:
                     cache.put(keys[i], forest)
         return forests  # type: ignore[return-value]
+
+    def _fan_out_reduces(
+        self,
+        miss_idx: List[int],
+        shards: Sequence[Shard],
+        rank: np.ndarray,
+        n: int,
+    ) -> List[np.ndarray]:
+        """Run the per-shard reduce jobs, tracing each when enabled.
+
+        Thread mode relies on the runner's context propagation (the
+        shard span nests under the caller's span directly); process
+        mode wraps jobs in :func:`repro.obs.trace.traced_job`, whose
+        captured worker spans are re-parented under this build's span
+        and re-exported here (workers start with tracing off and no
+        exporters of their own)."""
+        if not obs_trace.ENABLED:
+            return self.runner.map_sync(
+                reduce_shard, [(n, shards[i].edges, rank) for i in miss_idx]
+            )
+        if getattr(self.runner, "uses_processes", False):
+            parent = obs_trace.current_span_id()
+            pairs = self.runner.map_sync(
+                obs_trace.traced_job,
+                [
+                    (
+                        reduce_shard,
+                        (n, shards[i].edges, rank),
+                        "dist.reduce_shard",
+                        {"shard": i, "edges": int(shards[i].n_edges)},
+                    )
+                    for i in miss_idx
+                ],
+            )
+            results = []
+            for forest, records in pairs:
+                obs_trace.adopt(records, parent)
+                results.append(forest)
+            return results
+        return self.runner.map_sync(
+            _reduce_shard_traced,
+            [(n, shards[i].edges, rank, i) for i in miss_idx],
+        )
 
     def build_tree(
         self,
@@ -240,6 +317,17 @@ class ShardedExecutor:
                 f"{n} vertices"
             )
         self.stats["builds"] += 1
+        _M_BUILDS.inc()
+        with obs_trace.span(
+            "dist.build_tree", n_shards=len(shards), n_vertices=int(n)
+        ):
+            return self._build_tree(
+                scalars, shards, n, cache, scalars_fingerprint
+            )
+
+    def _build_tree(
+        self, scalars, shards, n, cache, scalars_fingerprint
+    ) -> ScalarTree:
         __, rank = rank_order(scalars)
 
         if cache is not None and scalars_fingerprint is None:
@@ -263,7 +351,9 @@ class ShardedExecutor:
         tree = ScalarTree(base_parent, scalars, kind="vertex").spliced(
             changed, global_parent[changed]
         )
-        self.stats["merge_seconds"] += time.perf_counter() - t0
+        merge_seconds = time.perf_counter() - t0
+        self.stats["merge_seconds"] += merge_seconds
+        _M_MERGE_SECONDS.observe(merge_seconds)
         self.stats["reduced_edges"] += int(len(reduced))
         self.stats["spliced_parents"] += int(len(changed))
         self.stats["last_build"] = {

@@ -41,6 +41,27 @@ import numpy as np
 
 from ..core.serialize import artifact_from_json, artifact_to_json
 from ..graph.csr import CSRGraph
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+
+# Process-wide cache metric families (repro.obs): the per-instance
+# ``stats`` dict stays (tests and /stats read it per cache), but every
+# event also lands here so /metrics and --metrics see one global truth.
+_M_HITS = obs_metrics.REGISTRY.counter(
+    "repro_cache_hits_total", "Artifact cache hits by tier.", ("tier",)
+)
+_M_MISSES = obs_metrics.REGISTRY.counter(
+    "repro_cache_misses_total", "Artifact cache misses."
+)
+_M_PUTS = obs_metrics.REGISTRY.counter(
+    "repro_cache_puts_total", "Artifacts stored in the cache."
+)
+_M_EVICTIONS = obs_metrics.REGISTRY.counter(
+    "repro_cache_evictions_total", "Cache evictions by tier.", ("tier",)
+)
+_M_BYTES = obs_metrics.REGISTRY.gauge(
+    "repro_cache_bytes", "Approximate cache footprint by tier.", ("tier",)
+)
 
 __all__ = [
     "ArtifactCache",
@@ -183,6 +204,7 @@ class ArtifactCache:
             old_key, old_value = self._memory.popitem(last=False)
             self._memory_bytes -= artifact_nbytes(old_value)
             self.stats["evictions"] += 1
+            _M_EVICTIONS.inc(tier="memory")
 
     @property
     def memory_bytes(self) -> int:
@@ -192,11 +214,20 @@ class ArtifactCache:
 
     def get(self, key: str):
         """The cached artifact for ``key``, or ``None`` on a miss."""
+        if not obs_trace.ENABLED:
+            return self._get(key)
+        with obs_trace.span("cache.get", key=key[:12]) as sp:
+            value = self._get(key)
+            sp.set(hit=value is not None)
+            return value
+
+    def _get(self, key: str):
         with self._lock:
             if key in self._memory:
                 self._memory.move_to_end(key)
                 self.stats["hits"] += 1
                 self.stats["memory_hits"] += 1
+                _M_HITS.inc(tier="memory")
                 return self._memory[key]
         if self.directory is not None:
             # Read and parse outside the lock: a multi-MB JSON load must
@@ -216,9 +247,11 @@ class ArtifactCache:
                     self._remember(key, value)
                     self.stats["hits"] += 1
                     self.stats["disk_hits"] += 1
+                _M_HITS.inc(tier="disk")
                 return value
         with self._lock:
             self.stats["misses"] += 1
+        _M_MISSES.inc()
         return None
 
     def put(self, key: str, value, disk: bool = True):
@@ -228,9 +261,17 @@ class ArtifactCache:
         is true (stages pass ``False`` for cheap-to-recompute or
         unserializable artifacts), and the value has a serialized form.
         """
+        if not obs_trace.ENABLED:
+            return self._put(key, value, disk)
+        with obs_trace.span("cache.put", key=key[:12], disk=disk):
+            return self._put(key, value, disk)
+
+    def _put(self, key: str, value, disk: bool = True):
         with self._lock:
             self._remember(key, value)
             self.stats["puts"] += 1
+            _M_BYTES.set(self._memory_bytes, tier="memory")
+        _M_PUTS.inc()
         if self.directory is not None and disk:
             try:
                 text = artifact_to_json(value)
@@ -308,7 +349,19 @@ class ArtifactCache:
             path.unlink(missing_ok=True)
             total -= size
             removed += 1
+        if removed:
+            _M_EVICTIONS.inc(removed, tier="disk")
+        _M_BYTES.set(total, tier="disk")
         return {"removed": removed, "bytes": total}
+
+    def refresh_metrics(self) -> None:
+        """Push the current tier footprints into the global byte gauges.
+
+        Puts and prunes keep the gauges fresh on the write path; this is
+        the scrape-time refresh (``/metrics``, ``--metrics``) so a
+        read-only process still reports accurate tier sizes."""
+        _M_BYTES.set(self.memory_bytes, tier="memory")
+        _M_BYTES.set(self.disk_stats()["bytes"], tier="disk")
 
     def __len__(self) -> int:
         with self._lock:

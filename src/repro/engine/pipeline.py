@@ -57,6 +57,8 @@ from ..core import (
 from ..core.scalar_tree import ScalarTree
 from ..core.super_tree import SuperTree
 from ..graph import datasets
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..graph.csr import CSRGraph
 from ..graph.io import read_edge_list
 from ..stream import SlidingWindow, StreamingScalarTree
@@ -82,6 +84,23 @@ __all__ = [
 
 PathLike = Union[str, Path]
 FieldGraph = Union[ScalarGraph, EdgeScalarGraph]
+
+#: Wall time of every cold stage build, by stage name — the histogram
+#: behind the per-stage p50/p95 rollups in the bench ledger and the
+#: ``repro_stage_build_seconds`` family on ``GET /metrics``.
+STAGE_BUILD_SECONDS = obs_metrics.REGISTRY.histogram(
+    "repro_stage_build_seconds",
+    "Cold pipeline stage build time by stage.",
+    ("stage",),
+)
+
+#: Streaming replay batches and their application time.
+STREAM_BATCHES = obs_metrics.REGISTRY.counter(
+    "repro_stream_batches_total", "Edit batches applied by streaming pipelines."
+)
+STREAM_BATCH_SECONDS = obs_metrics.REGISTRY.histogram(
+    "repro_stream_batch_seconds", "Edit batch application time."
+)
 
 
 # ----------------------------------------------------------------------
@@ -313,9 +332,13 @@ class Pipeline(_TreeSinks):
     # -- keyed stage helper --------------------------------------------
     def _stage(self, name, params, fingerprints, build, disk=True):
         key = stage_key(name, params, *fingerprints)
-        value = self.cache.get(key)
-        if value is None:
-            value = self.cache.put(key, build(), disk=disk)
+        with obs_trace.span(f"stage.{name}", measure=self.measure) as sp:
+            value = self.cache.get(key)
+            if value is None:
+                with STAGE_BUILD_SECONDS.time(stage=name):
+                    value = build()
+                sp.set(built=True)
+                value = self.cache.put(key, value, disk=disk)
         return value
 
     # -- stage-level entry points --------------------------------------
@@ -445,7 +468,9 @@ class Pipeline(_TreeSinks):
     def graph(self) -> CSRGraph:
         """Source stage: the underlying graph."""
         if self._graph is None:
-            self._graph = self.source.load()
+            with obs_trace.span("stage.source", source=repr(self.source)):
+                with STAGE_BUILD_SECONDS.time(stage="source"):
+                    self._graph = self.source.load()
         return self._graph
 
     @property
@@ -667,7 +692,11 @@ class StreamingPipeline(_TreeSinks):
     def apply(self, batch) -> ScalarTree:
         """Apply one edit transaction; downstream stages recompute lazily."""
         self._invalidate()
-        return self.stream.apply(batch)
+        with obs_trace.span("stream.apply", edits=len(batch)):
+            with STREAM_BATCH_SECONDS.time():
+                tree = self.stream.apply(batch)
+        STREAM_BATCHES.inc()
+        return tree
 
     def push(self, t: float, batch) -> None:
         """Apply a timestamped batch through the sliding window."""
@@ -676,7 +705,10 @@ class StreamingPipeline(_TreeSinks):
                 "no sliding window configured (pass window=... )"
             )
         self._invalidate()
-        self.window.push(t, batch)
+        with obs_trace.span("stream.push", edits=len(batch), t=t):
+            with STREAM_BATCH_SECONDS.time():
+                self.window.push(t, batch)
+        STREAM_BATCHES.inc()
 
     def _invalidate(self) -> None:
         self._display = None

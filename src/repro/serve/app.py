@@ -13,6 +13,7 @@ Routes
 ``GET /``                     service index
 ``GET /healthz``              liveness probe
 ``GET /stats``                cache/runner counters (benchmark hooks)
+``GET /metrics``              Prometheus text exposition (repro.obs)
 ``GET /datasets``             served datasets, measures, tile grids
 ``GET /t/{ds}/{measure}/{level}/{tx}/{ty}``
                               binary tile; strong ETag, 304 on
@@ -34,6 +35,8 @@ from typing import Dict, List, Optional, Tuple
 
 from ..engine import ArtifactCache, registry
 from ..engine.pipeline import Pipeline
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from . import workers
 from .http import EventStreamResponse, HTTPError, Request, Response, Router
 from .lod import LODPyramid
@@ -43,6 +46,20 @@ from .workers import StageRunner
 __all__ = ["ServeApp"]
 
 _TILE_CACHE_CONTROL = "public, max-age=0, must-revalidate"
+
+# Span summary for ``/stats``: one process-wide ring buffer registered at
+# import.  It only receives records while tracing is enabled, so the
+# default-off fast path is untouched; ``/stats`` rolls up whatever the
+# ring currently holds.
+_SPAN_RING = obs_trace.RingBufferExporter(capacity=4096)
+obs_trace.add_exporter(_SPAN_RING)
+
+_M_TILES = obs_metrics.REGISTRY.counter(
+    "repro_tiles_served_total", "Tiles served by pyramid level.", ("level",)
+)
+_M_UPTIME = obs_metrics.REGISTRY.gauge(
+    "repro_serve_uptime_seconds", "Server uptime (monotonic clock)."
+)
 
 
 class _DatasetEntry:
@@ -97,7 +114,14 @@ class ServeApp:
         # through the coalesced funnel.
         self._payloads: "OrderedDict[str, Tuple[bytes, str]]" = OrderedDict()
         self._payload_bytes = 0
-        self._started = time.time()
+        # Monotonic clock: uptime must never jump when the wall clock is
+        # stepped (NTP corrections would yield negative or inflated
+        # uptimes under time.time()).
+        self._started = time.monotonic()
+
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._started
 
     def _payload_get(self, key: str) -> Optional[Tuple[bytes, str]]:
         cached = self._payloads.get(key)
@@ -265,6 +289,7 @@ class ServeApp:
                     "/profile.svg?dataset=&measure=",
                     "/stream/{session}",
                     "/stats",
+                    "/metrics",
                     "/healthz",
                 ],
             }
@@ -274,6 +299,7 @@ class ServeApp:
         return Response.json_({"ok": True})
 
     async def _get_stats(self, request: Request) -> Response:
+        _M_UPTIME.set(self.uptime_s)
         payload = {
             "cache": dict(
                 self.cache.stats,
@@ -289,7 +315,10 @@ class ServeApp:
                 self.runner.stats, workers=self.runner.workers
             ),
             "warm_tiles": len(self._payloads),
-            "uptime_s": time.time() - self._started,
+            "uptime_s": self.uptime_s,
+            # Per-span-name rollup of the recent trace ring (empty when
+            # tracing is disabled — the ring only fills under --trace).
+            "spans": obs_trace.rollup(_SPAN_RING.snapshot()),
         }
         if self.dist is not None:
             # Shard summary per built pipeline (in process mode the
@@ -313,6 +342,15 @@ class ServeApp:
                     },
                 }
         return Response.json_(payload)
+
+    async def _get_metrics(self, request: Request) -> Response:
+        """Prometheus text exposition of the process-wide registry."""
+        self.cache.refresh_metrics()
+        _M_UPTIME.set(self.uptime_s)
+        return Response.text(
+            obs_metrics.REGISTRY.render(),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
 
     async def _get_datasets(self, request: Request) -> Response:
         rows = []
@@ -384,6 +422,7 @@ class ServeApp:
             )
             self._payload_put(memo_key, cached)
         payload, etag = cached
+        _M_TILES.inc(level=str(level_i))
         headers = [
             ("ETag", etag),
             ("Cache-Control", _TILE_CACHE_CONTROL),
@@ -460,6 +499,7 @@ class ServeApp:
         router.get("/", self._get_index)
         router.get("/healthz", self._get_healthz)
         router.get("/stats", self._get_stats)
+        router.get("/metrics", self._get_metrics)
         router.get("/datasets", self._get_datasets)
         router.get("/t/{ds}/{measure}/{level}/{tx}/{ty}", self._get_tile)
         router.get("/peaks", self._get_peaks)

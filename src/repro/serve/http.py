@@ -28,8 +28,11 @@ Pieces
 from __future__ import annotations
 
 import asyncio
+import itertools
 import json
-import sys
+import logging
+import os
+import time
 import traceback
 from typing import (
     AsyncIterator,
@@ -40,6 +43,9 @@ from typing import (
     Tuple,
 )
 from urllib.parse import parse_qsl, unquote
+
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 
 __all__ = [
     "HTTPError",
@@ -62,6 +68,43 @@ _REASONS = {
 }
 _MAX_HEADERS = 100
 _MAX_BODY = 1 << 20
+
+#: Structured request/error log — one JSON line per record, so a log
+#: shipper can parse it without multi-line stitching.
+logger = logging.getLogger("repro.serve")
+
+_request_ids = itertools.count(1)
+
+_M_RESPONSES = obs_metrics.REGISTRY.counter(
+    "repro_http_responses_total", "HTTP responses by status code.", ("status",)
+)
+_M_REQUEST_SECONDS = obs_metrics.REGISTRY.histogram(
+    "repro_http_request_seconds", "HTTP request handling latency."
+)
+_M_SSE_SESSIONS = obs_metrics.REGISTRY.gauge(
+    "repro_sse_sessions", "Currently open Server-Sent-Events streams."
+)
+
+
+def _new_request_id() -> str:
+    return f"{os.getpid():x}-{next(_request_ids):x}"
+
+
+def _log_request_error(request_id: str, request: "Request", exc: BaseException) -> None:
+    """One structured JSON log line per unhandled handler exception.
+
+    The traceback stays in the log (escaped inside the JSON), never in
+    the 500 response body — clients get a generic message plus the
+    request id to quote back at operators."""
+    logger.error(json.dumps({
+        "event": "request_error",
+        "request_id": request_id,
+        "method": request.method,
+        "route": request.path,
+        "status": 500,
+        "exception": f"{type(exc).__name__}: {exc}",
+        "traceback": traceback.format_exc(),
+    }, sort_keys=True))
 
 
 class HTTPError(Exception):
@@ -318,19 +361,54 @@ class HTTPServer:
             await asyncio.sleep(0.01)
 
     # ------------------------------------------------------------------
-    async def _respond(self, request: Request):
-        try:
-            handler, params = self.router.match(request.method, request.path)
-            return await handler(request, **params)
-        except HTTPError as exc:
-            return Response.json_(
-                {"error": exc.message, "status": exc.status}, status=exc.status
-            )
-        except Exception:
-            traceback.print_exc(file=sys.stderr)
-            return Response.json_(
-                {"error": "internal server error", "status": 500}, status=500
-            )
+    async def _respond(self, request: Request, request_id: str):
+        """Route + handle one request under the observability middleware:
+        a span per request, a latency observation, a status counter, and
+        ``X-Request-Id`` stamped on every buffered response."""
+        t0 = time.perf_counter()
+        with obs_trace.span(
+            "http.request",
+            method=request.method,
+            path=request.path,
+            request_id=request_id,
+        ) as sp:
+            try:
+                handler, params = self.router.match(
+                    request.method, request.path
+                )
+                response = await handler(request, **params)
+                status = (
+                    200
+                    if isinstance(response, EventStreamResponse)
+                    else response.status
+                )
+            except HTTPError as exc:
+                status = exc.status
+                response = Response.json_(
+                    {
+                        "error": exc.message,
+                        "status": exc.status,
+                        "request_id": request_id,
+                    },
+                    status=exc.status,
+                )
+            except Exception as exc:
+                status = 500
+                _log_request_error(request_id, request, exc)
+                response = Response.json_(
+                    {
+                        "error": "internal server error",
+                        "status": 500,
+                        "request_id": request_id,
+                    },
+                    status=500,
+                )
+            sp.set(status=status)
+        _M_REQUEST_SECONDS.observe(time.perf_counter() - t0)
+        _M_RESPONSES.inc(status=str(status))
+        if isinstance(response, Response):
+            response.headers.append(("X-Request-Id", request_id))
+        return response
 
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -338,33 +416,47 @@ class HTTPServer:
         self._connections.add(writer)
         try:
             while True:
+                request_id = _new_request_id()
                 try:
                     request = await _read_request(reader)
                 except HTTPError as exc:
+                    _M_RESPONSES.inc(status=str(exc.status))
                     writer.write(
                         Response.json_(
-                            {"error": exc.message, "status": exc.status},
+                            {
+                                "error": exc.message,
+                                "status": exc.status,
+                                "request_id": request_id,
+                            },
                             status=exc.status,
-                            headers=[("Connection", "close")],
+                            headers=[
+                                ("Connection", "close"),
+                                ("X-Request-Id", request_id),
+                            ],
                         ).render()
                     )
                     await writer.drain()
                     break
                 if request is None:
                     break
-                response = await self._respond(request)
+                response = await self._respond(request, request_id)
                 if isinstance(response, EventStreamResponse):
                     writer.write(
                         b"HTTP/1.1 200 OK\r\n"
                         b"Content-Type: text/event-stream\r\n"
                         b"Cache-Control: no-cache\r\n"
-                        b"Connection: close\r\n\r\n"
+                        b"Connection: close\r\n"
+                        + f"X-Request-Id: {request_id}\r\n\r\n".encode("latin-1")
                     )
                     await writer.drain()
                     if request.method != "HEAD":
-                        async for event, data in response.events:
-                            writer.write(_sse_chunk(event, data))
-                            await writer.drain()
+                        _M_SSE_SESSIONS.inc()
+                        try:
+                            async for event, data in response.events:
+                                writer.write(_sse_chunk(event, data))
+                                await writer.drain()
+                        finally:
+                            _M_SSE_SESSIONS.dec()
                     break
                 writer.write(response.render(head_only=request.method == "HEAD"))
                 await writer.drain()

@@ -30,6 +30,7 @@ from typing import AsyncIterator, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..engine.pipeline import StreamingPipeline
+from ..obs import trace as obs_trace
 from ..stream import read_edit_log
 from ..terrain.heightfield import Heightfield
 from .workers import source_from_spec
@@ -134,11 +135,17 @@ class _Replay:
 
     def step(self, index: int) -> Dict[str, object]:
         when, batch = self.batches[index]
-        self.pipeline.apply(batch)
-        cur = self.pipeline.heightfield(self.session.base_resolution)
-        dirty = dirty_tiles(
-            self.prev, cur, self.session.tile_size, self.session.levels
-        )
+        with obs_trace.span(
+            "stream.frame",
+            session=self.session.name,
+            batch=index,
+            edits=len(batch),
+        ):
+            self.pipeline.apply(batch)
+            cur = self.pipeline.heightfield(self.session.base_resolution)
+            dirty = dirty_tiles(
+                self.prev, cur, self.session.tile_size, self.session.levels
+            )
         self.prev = cur
         stats = self.pipeline.stats
         return {

@@ -25,6 +25,7 @@ Two executor modes:
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import json
 import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -105,7 +106,17 @@ class StageRunner:
         self._inflight[key] = future
         self.stats["builds"] += 1
         try:
-            value = await loop.run_in_executor(self._executor, fn, *args)
+            if self.uses_processes:
+                value = await loop.run_in_executor(self._executor, fn, *args)
+            else:
+                # Thread mode: run the job inside a copy of the caller's
+                # context so repro.obs span parenting survives the hop
+                # onto the pool thread (a Context is not picklable, so
+                # process mode can't do this — see obs.trace.traced_job).
+                ctx = contextvars.copy_context()
+                value = await loop.run_in_executor(
+                    self.thread_executor, ctx.run, fn, *args
+                )
         except BaseException as exc:
             self.stats["errors"] += 1
             if not future.done():
@@ -130,7 +141,18 @@ class StageRunner:
         In process mode ``fn`` must be a picklable module-level
         function, exactly like the build jobs below.
         """
-        futures = [self._executor.submit(fn, *args) for args in args_list]
+        if self.uses_processes:
+            futures = [self._executor.submit(fn, *args) for args in args_list]
+        else:
+            # Propagate the caller's context (repro.obs span parenting)
+            # onto the worker threads; a fresh copy per job keeps the
+            # jobs' own contextvar writes isolated from each other.
+            futures = [
+                self._executor.submit(
+                    contextvars.copy_context().run, fn, *args
+                )
+                for args in args_list
+            ]
         return [future.result() for future in futures]
 
     def shutdown(self) -> None:

@@ -1,0 +1,29 @@
+"""Fixtures for the observability tests: every test runs with the
+tracer's global state saved and restored, so enabling tracing (or
+attaching exporters) in one test can never leak into another suite."""
+
+import pytest
+
+from repro.obs import trace
+
+
+@pytest.fixture(autouse=True)
+def restore_trace_state():
+    prev_enabled = trace.ENABLED
+    prev_exporters = trace._TRACER.exporters
+    yield
+    trace.set_enabled(prev_enabled)
+    for exporter in trace._TRACER.exporters:
+        if exporter not in prev_exporters:
+            trace.remove_exporter(exporter)
+    for exporter in prev_exporters:
+        trace.add_exporter(exporter)
+
+
+@pytest.fixture
+def ring():
+    """An attached ring exporter with tracing enabled."""
+    exporter = trace.RingBufferExporter()
+    trace.add_exporter(exporter)
+    trace.set_enabled(True)
+    return exporter

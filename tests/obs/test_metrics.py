@@ -1,0 +1,171 @@
+"""repro.obs.metrics: counter/gauge/histogram semantics and the
+Prometheus text exposition format."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Registry,
+    escape_label_value,
+)
+
+
+@pytest.fixture
+def registry():
+    return Registry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self, registry):
+        c = registry.counter("jobs_total", "Jobs.")
+        assert c.value() == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_labels_partition_the_value(self, registry):
+        c = registry.counter("hits_total", "Hits.", ("tier",))
+        c.inc(tier="memory")
+        c.inc(3, tier="disk")
+        assert c.value(tier="memory") == 1.0
+        assert c.value(tier="disk") == 3.0
+
+    def test_rejects_decrease(self, registry):
+        c = registry.counter("jobs_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_rejects_wrong_label_set(self, registry):
+        c = registry.counter("hits_total", "Hits.", ("tier",))
+        with pytest.raises(ValueError):
+            c.inc(shard="0")
+        with pytest.raises(ValueError):
+            c.inc()
+
+    def test_thread_safety(self, registry):
+        c = registry.counter("n_total")
+        threads = [
+            threading.Thread(
+                target=lambda: [c.inc() for _ in range(1000)]
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value() == 8000.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert g.value() == 13.0
+
+    def test_callback_gauge(self, registry):
+        g = registry.gauge("uptime_seconds")
+        g.set_function(lambda: 42.5)
+        assert g.value() == 42.5
+        assert "uptime_seconds 42.5" in "\n".join(g.render())
+
+    def test_callback_gauge_rejects_labels(self, registry):
+        g = registry.gauge("by_tier", "x", ("tier",))
+        with pytest.raises(ValueError):
+            g.set_function(lambda: 1.0)
+
+
+class TestHistogram:
+    def test_observe_buckets_cumulatively(self, registry):
+        h = registry.histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        counts, total, n = h.child()
+        assert counts == [1, 2, 1]  # per-bucket, non-cumulative internally
+        assert n == 5
+        assert total == pytest.approx(56.05)
+
+    def test_labelled_children(self, registry):
+        h = registry.histogram("lat", "x", ("stage",), buckets=(1.0,))
+        h.observe(0.5, stage="tree")
+        h.observe(2.0, stage="layout")
+        assert h.child(stage="tree") == ([1], 0.5, 1)
+        assert h.child(stage="layout") == ([0], 2.0, 1)
+
+    def test_timer_context_manager(self, registry):
+        h = registry.histogram("lat")
+        with h.time() as timer:
+            pass
+        assert timer.seconds >= 0.0
+        __, total, n = h.child()
+        assert n == 1 and total == timer.seconds
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self, registry):
+        a = registry.counter("x_total", "X.", ("tier",))
+        b = registry.counter("x_total", "X.", ("tier",))
+        assert a is b
+
+    def test_type_mismatch_raises(self, registry):
+        registry.counter("x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total")
+
+    def test_label_mismatch_raises(self, registry):
+        registry.counter("x_total", "X.", ("tier",))
+        with pytest.raises(ValueError):
+            registry.counter("x_total", "X.", ("shard",))
+
+    def test_summary_is_json_able(self, registry):
+        import json
+
+        registry.counter("a_total").inc()
+        registry.histogram("b", buckets=(1.0,)).observe(0.5)
+        assert json.loads(json.dumps(registry.summary())) == registry.summary()
+
+
+class TestExposition:
+    def test_escape_label_value(self):
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+    def test_golden_exposition(self, registry):
+        """Byte-exact Prometheus text format for one of each family."""
+        c = registry.counter("repro_hits_total", "Hits by tier.", ("tier",))
+        c.inc(3, tier="memory")
+        c.inc(1, tier="disk")
+        g = registry.gauge("repro_depth", "Queue depth.")
+        g.set(7)
+        h = registry.histogram(
+            "repro_lat_seconds", "Latency.", buckets=(0.1, 1.0)
+        )
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        assert registry.render() == (
+            "# HELP repro_hits_total Hits by tier.\n"
+            "# TYPE repro_hits_total counter\n"
+            'repro_hits_total{tier="memory"} 3\n'
+            'repro_hits_total{tier="disk"} 1\n'
+            "# HELP repro_depth Queue depth.\n"
+            "# TYPE repro_depth gauge\n"
+            "repro_depth 7\n"
+            "# HELP repro_lat_seconds Latency.\n"
+            "# TYPE repro_lat_seconds histogram\n"
+            'repro_lat_seconds_bucket{le="0.1"} 1\n'
+            'repro_lat_seconds_bucket{le="1"} 2\n'
+            'repro_lat_seconds_bucket{le="+Inf"} 3\n'
+            "repro_lat_seconds_sum 5.55\n"
+            "repro_lat_seconds_count 3\n"
+        )
+
+    def test_unlabelled_counter_renders_zero_before_first_inc(self, registry):
+        registry.counter("repro_x_total", "X.")
+        assert "repro_x_total 0" in registry.render()
