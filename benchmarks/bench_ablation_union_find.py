@@ -1,8 +1,11 @@
-"""Ablation C: union-find path compression on/off.
+"""Ablation C: union-find path compression on/off, plus the native tier.
 
 Algorithm 1's near-linear bound rests on the O(α(n)) amortised
 union-find.  We rebuild the vertex scalar tree with the naive
-(uncompressed) structure swapped in and report the slowdown.
+(uncompressed) structure swapped in and report the slowdown — and,
+since PR 7, with the self-compiled C merge scan swapped in
+(:mod:`repro.accel.native`), which keeps the same union-find but
+removes the interpreter from the loop entirely.
 """
 
 import time
@@ -10,8 +13,9 @@ import time
 import numpy as np
 import pytest
 
+from repro.accel import native as accel_native
 from repro.core import NaiveUnionFind, ScalarGraph, UnionFind
-from repro.core.scalar_tree import ScalarTree
+from repro.core.scalar_tree import ScalarTree, build_vertex_tree
 
 
 def _build_tree_with(uf_cls, scalar_graph):
@@ -41,8 +45,9 @@ def _build_tree_with(uf_cls, scalar_graph):
     return ScalarTree(np.array(parent), scalars.copy())
 
 
-def test_ablation_compression(benchmark, report, kcore_field):
+def test_ablation_compression(benchmark, report, report_json, kcore_field):
     field = kcore_field("wikipedia")
+    have_native = accel_native.available()
 
     def compare():
         t0 = time.perf_counter()
@@ -52,17 +57,42 @@ def test_ablation_compression(benchmark, report, kcore_field):
         naive_tree = _build_tree_with(NaiveUnionFind, field)
         naive = time.perf_counter() - t0
         assert np.array_equal(fast_tree.parent, naive_tree.parent)
-        return fast, naive
+        native = float("nan")
+        if have_native:
+            t0 = time.perf_counter()
+            native_tree = build_vertex_tree(field, backend="native")
+            native = time.perf_counter() - t0
+            assert np.array_equal(fast_tree.parent, native_tree.parent)
+        return fast, naive, native
 
-    fast, naive = benchmark.pedantic(compare, rounds=1, iterations=1)
+    fast, naive, native = benchmark.pedantic(compare, rounds=1, iterations=1)
+    native_text = (
+        f"native C merge scan:      {native:.3f}s "
+        f"({fast / native:.1f}x over compressed Python)"
+        if have_native else
+        "native C merge scan:      unavailable (no toolchain)"
+    )
     report(
         "ablation_union_find",
         f"Algorithm 1 on Wikipedia stand-in "
         f"({field.n_vertices} vertices, {field.n_edges} edges)\n"
         f"with path compression:    {fast:.3f}s\n"
         f"without path compression: {naive:.3f}s\n"
-        f"slowdown: {naive / fast:.1f}x",
+        f"slowdown: {naive / fast:.1f}x\n" + native_text,
     )
+    report_json("accel_ablation_union_find", {
+        "bench": "ablation_union_find",
+        "n_vertices": field.n_vertices,
+        "n_edges": field.n_edges,
+        "compressed_s": fast,
+        "uncompressed_s": naive,
+        "uncompressed_slowdown": naive / fast,
+        "native_available": have_native,
+        "native_s": native if have_native else None,
+        "native_speedup_vs_compressed": (
+            fast / native if have_native else None
+        ),
+    })
 
 
 def test_bench_compressed(benchmark, kcore_field):
@@ -73,3 +103,11 @@ def test_bench_compressed(benchmark, kcore_field):
 def test_bench_uncompressed(benchmark, kcore_field):
     field = kcore_field("grqc")
     benchmark(lambda: _build_tree_with(NaiveUnionFind, field))
+
+
+@pytest.mark.skipif(
+    not accel_native.available(), reason="no C compiler on this host"
+)
+def test_bench_native(benchmark, kcore_field):
+    field = kcore_field("grqc")
+    benchmark(lambda: build_vertex_tree(field, backend="native"))

@@ -8,12 +8,15 @@ environment — set ``REPRO_BENCH_TINY=1`` for CI-smoke sizes and
 runs with ``$REPRO_TRACE`` pointed at a per-bench JSONL sink under
 ``benchmarks/out/``, so repro.obs spans from the instrumented layers
 are captured without any bench opting in.  Results land in
-``BENCH_PR6.json``:
+``BENCH_PR7.json``:
 
 * ``benches`` — per-file wall time and exit status;
-* ``speedups`` — the vector-vs-naive kernel speedups and the
+* ``speedups`` — the naive/vector/native kernel speedup columns and the
   sharded-vs-single dist scaling curves (merged from
   ``benchmarks/out/accel_*.json`` and ``benchmarks/out/dist_*.json``);
+  the native columns carry the PR 7 floors (≥10× over naive, ≥4× over
+  vector for tree build at 1e5 edges), asserted inside
+  ``bench_table2_construction.py`` when a toolchain exists;
 * ``span_rollups`` — per-span-name p50/p95/max/total ms over all spans
   traced across the run (see :func:`repro.obs.trace.rollup`);
 * ``env`` — the knobs that shaped the run.
@@ -73,6 +76,17 @@ def run_bench(path: Path, pytest_args: list, trace_path: Path) -> dict:
     }
 
 
+def _native_available() -> bool:
+    """Whether the native kernel tier compiled on this host (the ledger
+    records it so floor columns are interpretable after the fact)."""
+    try:
+        from repro.accel import native
+
+        return native.available()
+    except Exception:
+        return False
+
+
 def collect_speedups(not_before: float) -> dict:
     """Speedup sidecars written by *this* run (mtime filter keeps stale
     numbers from earlier runs — different env, different filters — out
@@ -97,7 +111,7 @@ def main(argv=None) -> int:
         help="run only bench files whose name contains SUBSTRING",
     )
     parser.add_argument(
-        "--output", default=str(REPO_ROOT / "BENCH_PR6.json"),
+        "--output", default=str(REPO_ROOT / "BENCH_PR7.json"),
         help="consolidated ledger path (default: %(default)s)",
     )
     parser.add_argument(
@@ -150,6 +164,7 @@ def main(argv=None) -> int:
         "env": {
             "tiny": os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0"),
             "accel": os.environ.get("REPRO_ACCEL", "auto") or "auto",
+            "native_available": _native_available(),
             "python": sys.version.split()[0],
         },
         "total_seconds": round(sum(b["seconds"] for b in benches.values()), 3),

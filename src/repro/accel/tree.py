@@ -17,7 +17,10 @@ computation around the edges:
 3. the scan runs union-find with path halving + union by size over
    flat int64 state arrays materialized once per build (and handed to
    the scan as machine ints — CPython's fastest representation for the
-   inherently sequential find loops).
+   inherently sequential find loops) — or, on the ``native`` tier, over
+   the same arrays zero-copy through the compiled C scan of
+   :mod:`repro.accel.native`, which removes the interpreter from the
+   one loop vectorization cannot reach.
 
 The result is **byte-identical** to the naive build: within one item's
 merge group, every distinct already-built subtree root gets the current
@@ -26,19 +29,56 @@ are replayed in (the roots were fixed before the group started, and
 re-encounters of an already-merged subtree are skipped), so attributing
 edges instead of scanning adjacency cannot change a single parent
 pointer.  ``tests/accel/test_tree_equivalence.py`` enforces this
-property-wise, including disconnected graphs and duplicate scalars.
+property-wise — naive ≡ vector ≡ native — including disconnected
+graphs and duplicate scalars.
 """
 
 from __future__ import annotations
 
+import weakref
+from collections import OrderedDict
+from typing import Optional
+
 import numpy as np
+
+from . import resolve as _resolve
+from . import native as _native
 
 __all__ = [
     "merge_scan",
+    "merge_scan_keep",
     "rank_order",
     "vertex_tree_parents",
     "edge_tree_parents",
 ]
+
+
+# ----------------------------------------------------------------------
+# rank_order, memoized
+# ----------------------------------------------------------------------
+# Both tree builders (and the dist executor's base + global replays)
+# call rank_order on the *same* scalars buffer within one build, and
+# warm pipelines re-build repeatedly over an unchanged field — so the
+# lexsort + rank scatter is memoized per buffer identity.  Identity is
+# a weakref to the array (so the memo never keeps a field alive and an
+# id() reuse after garbage collection cannot alias) plus a cheap
+# content guard against in-place mutation (streaming edits mutate the
+# field buffer via DeltaGraph.set_scalar).
+_RANK_MEMO: "OrderedDict[int, tuple]" = OrderedDict()
+_RANK_MEMO_MAX = 8
+#: Memo instrumentation for the once-per-build regression test.
+RANK_STATS = {"hits": 0, "misses": 0}
+
+
+def _rank_guard(arr: np.ndarray) -> tuple:
+    if not len(arr):
+        return ()
+    return (
+        arr.dtype.str,
+        float(arr[0]),
+        float(arr[-1]),
+        float(np.add.reduce(arr, dtype=np.float64)),
+    )
 
 
 def rank_order(scalars: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
@@ -46,16 +86,62 @@ def rank_order(scalars: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
 
     Items are processed in decreasing scalar order, ties broken by
     ascending item id — the same ``np.lexsort`` the naive builds use,
-    so both backends agree bit-for-bit on ties.
+    so both backends agree bit-for-bit on ties.  Results are memoized
+    per scalars buffer (see above); callers must treat the returned
+    arrays as read-only.
     """
-    n = len(scalars)
-    order = np.lexsort((np.arange(n), -np.asarray(scalars)))
+    arr = np.asarray(scalars)
+    key = id(arr)
+    entry = _RANK_MEMO.get(key)
+    if entry is not None:
+        ref, guard, order, rank = entry
+        if ref() is arr and guard == _rank_guard(arr):
+            RANK_STATS["hits"] += 1
+            _RANK_MEMO.move_to_end(key)
+            return order, rank
+        del _RANK_MEMO[key]
+    RANK_STATS["misses"] += 1
+    n = len(arr)
+    order = np.lexsort((np.arange(n), -arr))
     rank = np.empty(n, dtype=np.int64)
     rank[order] = np.arange(n)
+    try:
+        ref = weakref.ref(arr)
+    except TypeError:
+        return order, rank
+    _RANK_MEMO[key] = (ref, _rank_guard(arr), order, rank)
+    while len(_RANK_MEMO) > _RANK_MEMO_MAX:
+        _RANK_MEMO.popitem(last=False)
     return order, rank
 
 
-def merge_scan(n_items: int, cur: np.ndarray, prev: np.ndarray) -> np.ndarray:
+def rank_order_cache_clear() -> None:
+    """Drop the rank memo (tests and long-lived servers re-keying ids)."""
+    _RANK_MEMO.clear()
+
+
+# ----------------------------------------------------------------------
+# The merge scans
+# ----------------------------------------------------------------------
+def _native_selected(backend: Optional[str], size: int) -> bool:
+    """Whether this scan should run the compiled kernel.
+
+    ``backend`` is a caller's already-resolved tier when given; None
+    asks the global switch (``auto``/``native`` prefer the compiled
+    scan at any size — the caller reaching a flat scan has already
+    cleared the naive threshold).
+    """
+    if backend is None:
+        backend = _resolve(None, size=size, threshold=0, native=True)
+    return backend == "native" and _native.available()
+
+
+def merge_scan(
+    n_items: int,
+    cur: np.ndarray,
+    prev: np.ndarray,
+    backend: Optional[str] = None,
+) -> np.ndarray:
     """Replay pre-ordered merge steps; return the forest's parent array.
 
     ``cur[i]`` is the item being processed at step ``i`` and ``prev[i]``
@@ -63,8 +149,14 @@ def merge_scan(n_items: int, cur: np.ndarray, prev: np.ndarray) -> np.ndarray:
     processing order of ``cur``.  Each step that joins two distinct
     subtrees re-roots the older one under ``cur[i]`` — one flat scan
     shared by the vertex-tree (Algorithm 1) and edge-tree (Algorithm 3)
-    builds.
+    builds.  ``backend`` picks the scan implementation (``"native"``
+    runs the compiled C kernel when available; anything else, or a
+    failed compile, runs the Python scan below — byte-identical).
     """
+    if _native_selected(backend, len(cur)):
+        parent = _native.merge_scan(n_items, cur, prev)
+        if parent is not None:
+            return parent
     parent = [-1] * n_items
     uf = list(range(n_items))
     size = [1] * n_items
@@ -94,13 +186,55 @@ def merge_scan(n_items: int, cur: np.ndarray, prev: np.ndarray) -> np.ndarray:
     return np.array(parent, dtype=np.int64)
 
 
+def merge_scan_keep(
+    n_items: int,
+    cur: np.ndarray,
+    prev: np.ndarray,
+    backend: Optional[str] = None,
+) -> np.ndarray:
+    """Indices of the steps :func:`merge_scan` would merge on.
+
+    The dist executor's shard reduction keeps exactly these steps (the
+    shard's merge forest); the scan is the same union-find, tracking
+    merge-causing step indices instead of materialising parents.
+    """
+    if _native_selected(backend, len(cur)):
+        kept = _native.reduce_scan(n_items, cur, prev)
+        if kept is not None:
+            return kept
+    uf = list(range(n_items))
+    size = [1] * n_items
+    kept = []
+    prev_cur = -1
+    root_v = -1
+    for i, (v, w) in enumerate(zip(cur.tolist(), prev.tolist())):
+        if v != prev_cur:
+            prev_cur = v
+            root_v = v
+        x = w
+        while uf[x] != x:
+            uf[x] = uf[uf[x]]
+            x = uf[x]
+        if root_v != x:
+            kept.append(i)
+            if size[root_v] < size[x]:
+                root_v, x = x, root_v
+            uf[x] = root_v
+            size[root_v] += size[x]
+    return np.array(kept, dtype=np.int64)
+
+
 def vertex_tree_parents(
-    n_vertices: int, edge_pairs: np.ndarray, rank: np.ndarray
+    n_vertices: int,
+    edge_pairs: np.ndarray,
+    rank: np.ndarray,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Algorithm 1 parents via the edge-ordered merge scan.
 
     ``edge_pairs`` is an ``(m, 2)`` array of undirected edges and
     ``rank`` the processing rank per vertex (see :func:`rank_order`).
+    ``backend`` selects the scan tier (see :func:`merge_scan`).
     """
     if len(edge_pairs) == 0:
         return np.full(n_vertices, -1, dtype=np.int64)
@@ -113,11 +247,14 @@ def vertex_tree_parents(
     # Stability is unnecessary: the merge result is invariant to the
     # order of one item's edges (see the module docstring).
     eorder = np.argsort(np.maximum(ra, rb))
-    return merge_scan(n_vertices, cur[eorder], prev[eorder])
+    return merge_scan(n_vertices, cur[eorder], prev[eorder], backend)
 
 
 def edge_tree_parents(
-    n_vertices: int, edge_pairs: np.ndarray, rank: np.ndarray
+    n_vertices: int,
+    edge_pairs: np.ndarray,
+    rank: np.ndarray,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Algorithm 3 parents via the same merge scan.
 
@@ -146,4 +283,4 @@ def edge_tree_parents(
     keep = rank[cand_rows] < rank[rows][:, None]
     cur = np.repeat(rows, 2)[keep.ravel()]
     prev = cand_rows.ravel()[keep.ravel()]
-    return merge_scan(m, cur, prev)
+    return merge_scan(m, cur, prev, backend)

@@ -179,8 +179,10 @@ def _add_accel(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--accel", choices=accel.BACKENDS, default=None,
         help="compute-kernel backend for tree construction, measures, "
-             "layout and rasterization; both backends produce identical "
-             "results (default: $REPRO_ACCEL if set, else 'auto')",
+             "layout and rasterization; all backends produce identical "
+             "results ('native' self-compiles a C merge-scan kernel at "
+             "first use and falls back to 'vector' without a toolchain; "
+             "default: $REPRO_ACCEL if set, else 'auto')",
     )
 
 

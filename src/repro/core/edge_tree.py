@@ -57,10 +57,12 @@ def build_edge_tree(
     # Decreasing scalar, ties by ascending edge id.
     order, rank = _accel_tree.rank_order(scalars)
 
-    chosen = accel.resolve(backend, size=m, threshold=_VECTOR_MIN_EDGES)
-    if chosen == "vector":
+    chosen = accel.resolve(
+        backend, size=m, threshold=_VECTOR_MIN_EDGES, native=True
+    )
+    if chosen != "naive":
         parent = _accel_tree.edge_tree_parents(
-            edge_graph.n_vertices, pairs, rank
+            edge_graph.n_vertices, pairs, rank, chosen
         )
         return ScalarTree(parent, scalars.copy(), kind="edge")
 

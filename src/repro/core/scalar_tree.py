@@ -227,9 +227,10 @@ def build_vertex_tree(
 
     ``backend`` picks the construction kernel (default: the global
     :mod:`repro.accel` setting): the naive path replays the adjacency
-    through :func:`attach_vertex`, the vector path runs the
-    edge-ordered merge scan of :mod:`repro.accel.tree` — both produce
-    byte-identical parent arrays.
+    through :func:`attach_vertex`, the vector and native paths run the
+    edge-ordered merge scan of :mod:`repro.accel.tree` (the latter
+    through the compiled C kernel of :mod:`repro.accel.native`) — all
+    produce byte-identical parent arrays.
 
     When scalar values repeat, apply
     :func:`repro.core.super_tree.build_super_tree` to restore the
@@ -242,10 +243,13 @@ def build_vertex_tree(
     order, rank = _accel_tree.rank_order(scalars)
 
     chosen = accel.resolve(
-        backend, size=graph.n_edges, threshold=_VECTOR_MIN_EDGES
+        backend, size=graph.n_edges, threshold=_VECTOR_MIN_EDGES,
+        native=True,
     )
-    if chosen == "vector":
-        parent = _accel_tree.vertex_tree_parents(n, graph.edge_array(), rank)
+    if chosen != "naive":
+        parent = _accel_tree.vertex_tree_parents(
+            n, graph.edge_array(), rank, chosen
+        )
         return ScalarTree(parent, scalars.copy(), kind="vertex")
 
     parent = [-1] * n

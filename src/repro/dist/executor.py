@@ -41,7 +41,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..accel.tree import rank_order, vertex_tree_parents
+from ..accel.tree import merge_scan_keep, rank_order, vertex_tree_parents
 from ..core.scalar_tree import ScalarTree
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
@@ -98,37 +98,16 @@ def reduce_shard(
     cur = np.where(later, pairs[:, 0], pairs[:, 1])
     prev = np.where(later, pairs[:, 1], pairs[:, 0])
     eorder = np.argsort(np.maximum(ra, rb))
-    cur_l = cur[eorder].tolist()
-    prev_l = prev[eorder].tolist()
 
     # The merge scan of repro.accel.tree, tracking which steps merged
     # instead of materialising parents (same union-find: path halving +
-    # union by size, group-root caching).
-    uf = list(range(n_vertices))
-    size = [1] * n_vertices
-    kept: List[int] = []
-    prev_cur = -1
-    root_v = -1
-    for i in range(len(cur_l)):
-        v = cur_l[i]
-        if v != prev_cur:
-            prev_cur = v
-            root_v = v
-        x = prev_l[i]
-        while uf[x] != x:
-            uf[x] = uf[uf[x]]
-            x = uf[x]
-        if root_v != x:
-            kept.append(i)
-            if size[root_v] < size[x]:
-                root_v, x = x, root_v
-            uf[x] = root_v
-            size[root_v] += size[x]
-    if not kept:
+    # union by size, group-root caching).  merge_scan_keep dispatches
+    # to the compiled native kernel when the backend allows — process
+    # workers re-resolve from their own environment.
+    kept = merge_scan_keep(n_vertices, cur[eorder], prev[eorder])
+    if not len(kept):
         return np.empty((0, 2), dtype=np.int64)
-    return np.ascontiguousarray(
-        pairs[eorder[np.array(kept, dtype=np.int64)]]
-    )
+    return np.ascontiguousarray(pairs[eorder[kept]])
 
 
 def _reduce_shard_traced(

@@ -33,6 +33,8 @@ import time
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
+from .. import accel
+from ..accel import native as accel_native
 from ..engine import ArtifactCache, registry
 from ..engine.pipeline import Pipeline
 from ..obs import metrics as obs_metrics
@@ -319,6 +321,13 @@ class ServeApp:
             # Per-span-name rollup of the recent trace ring (empty when
             # tracing is disabled — the ring only fills under --trace).
             "spans": obs_trace.rollup(_SPAN_RING.snapshot()),
+            # Kernel tier powering cold builds: the configured mode plus
+            # the native tier's compile/cache/fallback status (passive —
+            # never triggers a compile from a stats scrape).
+            "accel": {
+                "backend": accel.get_backend(),
+                "native": accel_native.info(),
+            },
         }
         if self.dist is not None:
             # Shard summary per built pipeline (in process mode the

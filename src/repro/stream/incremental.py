@@ -42,6 +42,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import accel
+from ..accel import native as _accel_native
 from ..core.scalar_graph import ScalarGraph
 from ..core.scalar_tree import ScalarTree, attach_vertex
 from ..core.simplify import simplify_tree
@@ -53,6 +55,10 @@ from .editlog import AddEdge, Batch, RemoveEdge, SetScalar
 __all__ = ["StreamingScalarTree"]
 
 _INF = float("inf")
+
+# Below this many edges the native rebuild's CSR materialisation does
+# not pay for itself; the journalled Python replay stays.
+_NATIVE_REBUILD_MIN_EDGES = 2048
 
 
 class StreamingScalarTree:
@@ -155,21 +161,85 @@ class StreamingScalarTree:
         self._pos: List[int] = [0] * n
         for i, v in enumerate(self._order):
             self._pos[v] = i
-        self._uf = RollbackUnionFind(n)
-        self._parent: List[int] = [-1] * n
-        self._tree_root: List[int] = list(range(n))
-        self._journal: List[Tuple[int, int, int]] = []
-        # (n_processed, journal_len, uf_token, boundary scalar)
-        self._checkpoints: List[Tuple[int, int, int, float]] = [
-            (0, 0, 0, _INF)
-        ]
-        self._replay(0)
+        chosen = accel.resolve(
+            None, size=self.delta.n_edges,
+            threshold=_NATIVE_REBUILD_MIN_EDGES, native=True,
+        )
+        if chosen != "native" or not self._rebuild_native(order, scalars):
+            self._uf = RollbackUnionFind(n)
+            self._parent: List[int] = [-1] * n
+            self._tree_root: List[int] = list(range(n))
+            self._journal: List[Tuple[int, int, int]] = []
+            # (n_processed, journal_len, uf_token, boundary scalar)
+            self._checkpoints: List[Tuple[int, int, int, float]] = [
+                (0, 0, 0, _INF)
+            ]
+            self._replay(0)
         self._tree = ScalarTree(
             np.array(self._parent, dtype=np.int64), scalars.copy()
         )
         self._super = None
         self._super_stale = True
         self._super_dirty_above = -_INF
+
+    def _rebuild_native(self, order: np.ndarray, scalars) -> bool:
+        """Full journalled build through the compiled replay kernel.
+
+        Produces the same rollback-capable state the Python replay
+        maintains — parent/tree-root lists, the union-find with its
+        undo history, the journal, and per-level checkpoints — from one
+        C pass over the compacted CSR adjacency.  The union-find's
+        internal forest may differ from the Python replay's when
+        adjacency enumeration order differs, but the maintained
+        invariant (``tree_root[find(x)]`` is x's current subtree root)
+        and the resulting tree are identical, and the journal/history
+        are self-consistent for later rewinds.  Returns False when the
+        native tier is unavailable (caller falls back to Python).
+        """
+        n = self.delta.n_vertices
+        graph = (
+            self.delta.base
+            if self.delta.n_pending_edits == 0
+            else self.delta.compact()
+        )
+        pos = np.empty(n, dtype=np.int64)
+        pos[order] = np.arange(n, dtype=np.int64)
+        svals = np.asarray(scalars, dtype=np.float64)[order]
+        # Checkpoint before every strict scalar decrease — exactly the
+        # positions the Python replay snapshots at.
+        ckpt_pos = (
+            np.flatnonzero(svals[1:] < svals[:-1]) + 1
+            if n > 1 else np.empty(0, dtype=np.int64)
+        )
+        state = _accel_native.replay_scan(
+            n, graph.indptr, graph.indices, order, pos, ckpt_pos
+        )
+        if state is None:
+            return False
+        uf = RollbackUnionFind(n)
+        uf.parent = state["uf_parent"].tolist()
+        uf.size = state["uf_size"].tolist()
+        uf.n_sets = n - state["n_unions"]
+        uf._history = state["history"].tolist()
+        self._uf = uf
+        self._parent = state["parent"].tolist()
+        self._tree_root = state["tree_root"].tolist()
+        self._journal = [
+            tuple(entry) for entry in state["journal"].tolist()
+        ]
+        # Journal length == union-find history length at every point
+        # (each journal append coincides with exactly one union), so
+        # one counter serves as both the journal offset and the
+        # rollback token.
+        self._checkpoints = [(0, 0, 0, _INF)] + [
+            (int(i), int(j), int(j), float(b))
+            for i, j, b in zip(
+                ckpt_pos.tolist(),
+                state["ckpt_jlen"].tolist(),
+                svals[ckpt_pos - 1].tolist(),
+            )
+        ]
+        return True
 
     def _replay(self, start: int) -> None:
         """Run Algorithm 1 over ``order[start:]``, journalled, with

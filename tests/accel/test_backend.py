@@ -45,10 +45,15 @@ class TestSetting:
         accel._init_from_env()
         assert accel.get_backend() == "vector"
 
+    def test_env_init_accepts_native(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ACCEL", "native")
+        accel._init_from_env()
+        assert accel.get_backend() == "native"
+
     def test_env_init_rejects_typos(self, monkeypatch):
         """A typo must fail loudly, not silently fall back to auto —
         otherwise CI's pinned-backend jobs would test nothing."""
-        monkeypatch.setenv("REPRO_ACCEL", "native")
+        monkeypatch.setenv("REPRO_ACCEL", "vectr")
         with pytest.raises(ValueError):
             accel._init_from_env()
 

@@ -1,12 +1,17 @@
-"""Property: vector tree construction ≡ naive, parent-for-parent.
+"""Property: vector/native tree construction ≡ naive, parent-for-parent.
 
 The edge-ordered merge scan must reproduce the naive Algorithm 1/3
 builds byte-identically — including on disconnected graphs, isolated
-vertices and duplicate scalar values (rank tie-breaks).
+vertices and duplicate scalar values (rank tie-breaks).  When the
+native tier compiled (a toolchain exists), it joins the same
+three-way contract; without one it resolves to vector, so the
+assertions below stay meaningful either way.
 """
 
 import numpy as np
 from hypothesis import given, settings
+
+from repro.accel import native as accel_native
 
 from repro.core import (
     EdgeScalarGraph,
@@ -30,6 +35,9 @@ def test_vertex_tree_parents_identical(field):
     assert np.array_equal(naive.parent, vector.parent)
     assert np.array_equal(naive.scalars, vector.scalars)
     vector.validate()
+    if accel_native.available():
+        native = build_vertex_tree(sg, backend="native")
+        assert np.array_equal(naive.parent, native.parent)
 
 
 @settings(max_examples=30, deadline=None)
@@ -58,6 +66,9 @@ def test_edge_tree_parents_identical(field):
     assert np.array_equal(naive.scalars, vector.scalars)
     if graph.n_edges:
         vector.validate()
+    if accel_native.available():
+        native = build_edge_tree(eg, backend="native")
+        assert np.array_equal(naive.parent, native.parent)
 
 
 @settings(max_examples=15, deadline=None)
@@ -79,10 +90,10 @@ def test_edge_tree_vector_matches_dual_graph_oracle(field):
 def test_empty_and_edgeless():
     empty = from_edge_array(np.empty((0, 2), dtype=np.int64), n_vertices=5)
     sg = ScalarGraph(empty, np.arange(5, dtype=np.float64))
-    for backend in ("naive", "vector"):
+    for backend in ("naive", "vector", "native"):
         tree = build_vertex_tree(sg, backend=backend)
         assert np.array_equal(tree.parent, np.full(5, -1))
     eg = EdgeScalarGraph(empty, np.zeros(0))
-    for backend in ("naive", "vector"):
+    for backend in ("naive", "vector", "native"):
         tree = build_edge_tree(eg, backend=backend)
         assert tree.n_nodes == 0
