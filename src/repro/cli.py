@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Seven commands cover the common workflows without writing any Python,
+The commands cover the common workflows without writing any Python,
 and all of them are thin wrappers over one :class:`repro.engine.Pipeline`
 (static), :class:`repro.engine.StreamingPipeline` (incremental), or the
 :mod:`repro.serve` application:
@@ -13,6 +13,10 @@ and all of them are thin wrappers over one :class:`repro.engine.Pipeline`
 * ``correlate`` — LCI/GCI of two vertex measures;
 * ``stream``  — replay a JSONL edit log through the incremental
   maintainer and emit terrain frames;
+* ``evolve``  — drive a timestamped ``src dst ts [w]`` edge log (or
+  the planted dynamic-community generator) through the windowed
+  timeline, track peaks into trajectories, and report lifecycle
+  events and terrain-diff summaries;
 * ``serve``   — boot the concurrent terrain tile/query HTTP server
   (LOD tile pyramid, peaks/hit/treemap/profile endpoints, SSE stream
   replay) on top of the same cached pipelines.
@@ -472,11 +476,127 @@ def _cmd_stream(args) -> int:
     return 0
 
 
+def _cmd_evolve(args) -> int:
+    """Windowed terrain evolution: timeline -> tracker -> diff report."""
+    import json as json_mod
+
+    from .evolve import (
+        DiffTiler,
+        PeakTracker,
+        event_f1,
+        frames_from_log,
+        frames_from_rows,
+        peaks_from_tree,
+    )
+    from .graph.generators import dynamic_planted_partition
+
+    if bool(args.log) == bool(args.synthetic):
+        raise SystemExit("provide exactly one of --log or --synthetic")
+    if args.window <= 0:
+        raise SystemExit("--window must be a positive horizon")
+    if args.resolution and args.resolution % args.tile_size != 0:
+        raise SystemExit("--resolution must be a multiple of --tile-size")
+
+    truth_events = None
+    origin = args.origin
+    if args.synthetic:
+        log = dynamic_planted_partition(
+            n_vertices=args.vertices,
+            n_windows=args.windows,
+            n_communities=args.communities,
+            community_size=args.community_size,
+            p_in=args.p_in,
+            churn=args.churn,
+            noise_per_window=args.noise,
+            seed=args.seed,
+        )
+        truth_events = log.events
+        if origin is None:
+            origin = log.origin
+        if args.write_log:
+            log.write(args.write_log)
+            print(f"synthetic temporal log -> {args.write_log} "
+                  f"({len(log.rows)} edges, {log.n_windows} windows)")
+        frames = frames_from_rows(
+            log.rows, log.n_vertices,
+            measure=args.measure, horizon=args.window,
+            stride=args.stride, origin=origin, bins=args.bins,
+        )
+    else:
+        if not Path(args.log).exists():
+            raise SystemExit(f"temporal edge log not found: {args.log}")
+        try:
+            frames = frames_from_log(
+                args.log,
+                measure=args.measure, horizon=args.window,
+                stride=args.stride, origin=origin, bins=args.bins,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"bad temporal log {args.log}: {exc}")
+
+    tracker = PeakTracker(jaccard=args.jaccard, min_size=args.min_size)
+    tiler = (
+        DiffTiler(resolution=args.resolution, tile_size=args.tile_size)
+        if args.resolution
+        else None
+    )
+    report = {"windows": [], "events": []}
+    try:
+        for frame in frames:
+            peaks = peaks_from_tree(
+                frame.super, args.alpha, args.min_size, window=frame.index
+            )
+            events = tracker.observe(frame.index, peaks)
+            row = dict(frame.describe())
+            row["n_peaks"] = len(peaks)
+            if tiler is not None:
+                tiler.add_frame(frame)
+                if frame.index > 0:
+                    row["diff"] = tiler.summary(frame.index)
+            report["windows"].append(row)
+            report["events"].extend(e.describe() for e in events)
+            line = (
+                f"window {frame.index}: {frame.n_edges} edges, "
+                f"{len(peaks)} peaks"
+            )
+            if events:
+                line += " | " + ", ".join(
+                    f"{e.kind}#{e.trajectory}" for e in events
+                )
+            print(line)
+    except ValueError as exc:
+        raise SystemExit(f"evolve failed: {exc}")
+    report["tracker"] = tracker.stats()
+    if truth_events is not None:
+        report["event_f1"] = event_f1(tracker.events, truth_events)
+        print(f"event F1 vs planted ground truth: "
+              f"{report['event_f1']:.3f}")
+    stats = report["tracker"]
+    print(
+        f"tracked {stats['trajectories']} trajectories over "
+        f"{len(report['windows'])} windows ({stats['live']} live); "
+        "events: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(stats["events"].items()))
+    )
+    if args.output:
+        Path(args.output).write_text(
+            json_mod.dumps(report, indent=2, sort_keys=True)
+        )
+        print(f"report -> {args.output}")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
     from .graph import datasets as dataset_registry
-    from .serve import HTTPServer, ServeApp, StageRunner, StreamSession
+    from .serve import (
+        EvolveSession,
+        HTTPServer,
+        ServeApp,
+        StageRunner,
+        StreamSession,
+    )
 
     # Fail fast on flags the lazy pyramid/runner would otherwise only
     # reject on the first request (as a 500) or with a raw traceback.
@@ -555,6 +675,32 @@ def _cmd_serve(args) -> int:
             name, entry.source, measure, log_path,
             bins=args.bins,
             tile_size=args.tile_size, levels=args.levels,
+        ))
+
+    for spec in args.evolve_log or []:
+        name, sep, rest = spec.partition("=")
+        parts = rest.split(":", 2)
+        if not sep or len(parts) != 3 or not all(parts):
+            raise SystemExit(
+                "--evolve-log expects NAME=MEASURE:WINDOW:LOGPATH, "
+                f"got {spec!r}"
+            )
+        measure, window, log_path = parts
+        _vertex_measure_arg_exit(measure)
+        try:
+            horizon = float(window)
+        except ValueError:
+            horizon = -1.0
+        if horizon <= 0:
+            raise SystemExit(
+                f"--evolve-log {name}: WINDOW must be a positive "
+                f"horizon, got {window!r}"
+            )
+        if not Path(log_path).exists():
+            raise SystemExit(f"temporal edge log not found: {log_path}")
+        app.add_evolve_session(EvolveSession(
+            name, log_path, measure=measure, horizon=horizon,
+            bins=args.bins, tile_size=args.tile_size,
         ))
 
     async def _run() -> None:
@@ -725,6 +871,121 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--height", type=int, default=360)
     stream.set_defaults(func=_cmd_stream)
 
+    evolve = sub.add_parser(
+        "evolve",
+        help="windowed terrain evolution over a timestamped edge log",
+        description=(
+            "Slice a timestamped 'src dst ts [w]' edge log into "
+            "tumbling (or sliding) windows, maintain the terrain "
+            "incrementally per window, track peaks across windows "
+            "into trajectories with lifecycle events "
+            "(birth/growth/shrink/merge/split/death), and summarize "
+            "the signed terrain diff between consecutive windows.  "
+            "--synthetic swaps the log for the planted "
+            "dynamic-community generator and scores the tracked "
+            "events against its ground truth (event F1)."
+        ),
+    )
+    evolve.add_argument(
+        "--log", default=None,
+        help="timestamped edge list ('src dst ts [w]' per line)",
+    )
+    evolve.add_argument(
+        "--synthetic", action="store_true",
+        help="use the planted dynamic-community generator instead of "
+             "--log, and score events against its ground truth",
+    )
+    evolve.add_argument(
+        "--measure", default="degree", type=_vertex_measure_arg,
+        help="vertex measure recomputed per window; one of: "
+             + ", ".join(registry.measure_names(kind="vertex")),
+    )
+    evolve.add_argument(
+        "--window", type=float, default=1.0,
+        help="window horizon in time units (default: %(default)s)",
+    )
+    evolve.add_argument(
+        "--stride", type=float, default=None,
+        help="window stride; defaults to the horizon (tumbling)",
+    )
+    evolve.add_argument(
+        "--origin", type=float, default=None,
+        help="timeline origin; defaults to just below the first "
+             "timestamp (0.0 for --synthetic)",
+    )
+    evolve.add_argument(
+        "--alpha", type=float, default=None,
+        help="peak cut level (default: per-window midpoint)",
+    )
+    evolve.add_argument(
+        "--min-size", type=int, default=3,
+        help="ignore peaks smaller than this (default: %(default)s)",
+    )
+    evolve.add_argument(
+        "--jaccard", type=float, default=0.3,
+        help="member-set Jaccard threshold for matching peaks across "
+             "windows (default: %(default)s)",
+    )
+    evolve.add_argument(
+        "--resolution", type=int, default=128,
+        help="diff heightfield resolution; 0 skips terrain diffs "
+             "(default: %(default)s)",
+    )
+    evolve.add_argument(
+        "--tile-size", type=int, default=64,
+        help="diff tile edge length (default: %(default)s)",
+    )
+    evolve.add_argument(
+        "--bins", type=int, default=None,
+        help="simplify display trees to ~N scalar levels",
+    )
+    evolve.add_argument(
+        "--vertices", type=int, default=96,
+        help="--synthetic: vertex count (default: %(default)s)",
+    )
+    evolve.add_argument(
+        "--windows", type=int, default=8,
+        help="--synthetic: window count (default: %(default)s)",
+    )
+    evolve.add_argument(
+        "--communities", type=int, default=3,
+        help="--synthetic: planted community count (default: %(default)s)",
+    )
+    evolve.add_argument(
+        "--community-size", type=int, default=14,
+        help="--synthetic: members per community (default: %(default)s)",
+    )
+    evolve.add_argument(
+        "--p-in", type=float, default=0.6,
+        help="--synthetic: intra-community edge probability "
+             "(default: %(default)s)",
+    )
+    evolve.add_argument(
+        "--churn", type=float, default=0.2,
+        help="--synthetic: per-window edge churn fraction "
+             "(default: %(default)s)",
+    )
+    evolve.add_argument(
+        "--noise", type=int, default=6,
+        help="--synthetic: background noise edges per window "
+             "(default: %(default)s)",
+    )
+    evolve.add_argument(
+        "--seed", type=int, default=0,
+        help="--synthetic: RNG seed (default: %(default)s)",
+    )
+    evolve.add_argument(
+        "--write-log", default=None, metavar="PATH",
+        help="--synthetic: also write the generated temporal edge log",
+    )
+    evolve.add_argument(
+        "-o", "--output", default=None,
+        help="write the full window/event/diff report as JSON",
+    )
+    _add_accel(evolve)
+    _add_obs(evolve)
+    evolve.set_defaults(func=_cmd_evolve)
+
     serve = sub.add_parser(
         "serve",
         help="serve terrain tiles, peaks and linked displays over HTTP",
@@ -788,6 +1049,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--stream-log", action="append", metavar="NAME=DATASET:MEASURE:PATH",
         help="register an SSE replay session at /stream/NAME over a "
              "JSONL edit log (repeatable)",
+    )
+    serve.add_argument(
+        "--evolve-log", action="append", metavar="NAME=MEASURE:WINDOW:PATH",
+        help="register a temporal evolution run at /evolve/* (windows, "
+             "peak trajectories, diff tiles) and /stream/NAME over a "
+             "timestamped 'src dst ts [w]' edge log (repeatable)",
     )
     serve.add_argument(
         "--dist", type=_dist_arg, default="off", metavar="{auto,off,N}",

@@ -8,7 +8,8 @@ benches.  Every generator is deterministic given ``seed`` and returns a
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -27,6 +28,9 @@ __all__ = [
     "hub_and_spoke",
     "planted_cliques",
     "nested_core",
+    "CommunityEvent",
+    "DynamicCommunityLog",
+    "dynamic_planted_partition",
 ]
 
 
@@ -306,3 +310,250 @@ def nested_core(
                 pairs.append((u, v))
     arr = np.array(pairs, dtype=np.int64).reshape(-1, 2)
     return from_edge_array(arr, n_vertices=n)
+
+
+# ---------------------------------------------------------------------------
+# Dynamic planted partition (temporal ground truth for repro.evolve)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CommunityEvent:
+    """A scheduled lifecycle event in a dynamic-community log.
+
+    ``communities`` lists the planted ids involved: ``(cid,)`` for
+    birth/death, ``(a, b, merged)`` for a merge, ``(a, left, right)``
+    for a split.
+    """
+
+    kind: str  # "birth" | "death" | "merge" | "split"
+    window: int
+    communities: Tuple[int, ...]
+
+
+@dataclass
+class DynamicCommunityLog:
+    """Output of :func:`dynamic_planted_partition`.
+
+    ``rows`` is a timestamp-sorted ``(k, 4)`` float64 array of
+    ``u v ts w`` records (one tumbling window per unit of time: window
+    ``w`` owns timestamps in ``(w, w + 1)``).  ``memberships[w]`` maps
+    each vertex to its planted community id at window ``w`` (``-1`` for
+    background), and ``events`` is the scheduled ground truth the
+    :mod:`repro.evolve` tracker is scored against.
+    """
+
+    rows: np.ndarray
+    memberships: List[np.ndarray]
+    events: List[CommunityEvent]
+    n_vertices: int
+    n_windows: int
+    #: Timeline origin aligning frame k with window k exactly: window
+    #: w's timestamps all lie strictly inside (w, w + 1), so a
+    #: horizon-1 tumbling timeline started at 0 puts window w's edges
+    #: in frame w and nothing else.
+    origin: float = 0.0
+
+    def write(self, path) -> None:
+        """Write the log as a ``src dst ts w`` temporal edge list."""
+        from .io import write_temporal_edge_list
+
+        write_temporal_edge_list(
+            self.rows,
+            path,
+            header=(
+                "dynamic planted partition: "
+                f"{self.n_vertices} vertices, {self.n_windows} windows"
+            ),
+        )
+
+    def members_at(self, window: int, cid: int) -> np.ndarray:
+        """Vertex ids belonging to community ``cid`` at ``window``."""
+        return np.flatnonzero(self.memberships[window] == cid)
+
+
+def _sample_community_edges(
+    members: np.ndarray, p_in: float, rng: np.random.Generator
+) -> Set[Tuple[int, int]]:
+    """Bernoulli(p_in) edges over all member pairs, canonically ordered."""
+    k = len(members)
+    iu, ju = np.triu_indices(k, 1)
+    keep = rng.random(len(iu)) < p_in
+    edges: Set[Tuple[int, int]] = set()
+    for i, j in zip(iu[keep], ju[keep]):
+        a, b = int(members[i]), int(members[j])
+        edges.add((a, b) if a < b else (b, a))
+    return edges
+
+
+def _churn_community_edges(
+    edges: Set[Tuple[int, int]],
+    members: np.ndarray,
+    churn: float,
+    rng: np.random.Generator,
+) -> None:
+    """Swap out a ``churn`` fraction of ``edges`` for fresh member pairs."""
+    n_swap = int(round(churn * len(edges)))
+    if n_swap <= 0 or len(members) < 2:
+        return
+    ordered = sorted(edges)
+    drop = rng.choice(len(ordered), size=min(n_swap, len(ordered)), replace=False)
+    for i in drop:
+        edges.discard(ordered[int(i)])
+    added, guard = 0, 0
+    while added < n_swap and guard < 50 * n_swap + 100:
+        guard += 1
+        i, j = rng.integers(0, len(members), size=2)
+        if i == j:
+            continue
+        a, b = int(members[i]), int(members[j])
+        pair = (a, b) if a < b else (b, a)
+        if pair in edges:
+            continue
+        edges.add(pair)
+        added += 1
+
+
+def dynamic_planted_partition(
+    n_vertices: int = 96,
+    n_windows: int = 8,
+    n_communities: int = 3,
+    community_size: int = 14,
+    p_in: float = 0.6,
+    churn: float = 0.2,
+    noise_per_window: int = 6,
+    schedule: Optional[Sequence[Tuple[str, int, Tuple[int, ...]]]] = None,
+    seed: int = 0,
+) -> DynamicCommunityLog:
+    """Timestamped planted partition with scheduled community events.
+
+    ``n_communities`` blocks of ``community_size`` vertices each emit
+    Bernoulli(``p_in``) internal edges every window, with a ``churn``
+    fraction of each block's edge set resampled between windows (the
+    knob the incremental-vs-rebuild bench turns).  ``noise_per_window``
+    background edges are added per window, each touching at least one
+    background-pool vertex so noise never bridges two communities
+    directly.  Timestamps land strictly inside ``(w, w + 1)`` — never
+    on window boundaries.
+
+    ``schedule`` entries are ``(kind, window, targets)``:
+    ``("merge", w, (a, b))``, ``("split", w, (a,))``,
+    ``("death", w, (a,))``, ``("birth", w, ())``.  Events apply
+    *before* window ``w``'s edges are generated, so ``w`` is the first
+    window reflecting them.  ``None`` picks a canonical
+    merge-then-split schedule.  Initial communities are recorded as
+    window-0 births.  Everything is deterministic given ``seed``.
+    """
+    if n_communities * community_size > n_vertices:
+        raise ValueError("communities do not fit in n_vertices")
+    rng = np.random.default_rng(seed)
+    if schedule is None:
+        schedule = []
+        if n_windows >= 6 and n_communities >= 3:
+            w_merge = max(2, n_windows // 3)
+            w_split = max(w_merge + 2, (2 * n_windows) // 3)
+            schedule = [
+                ("merge", w_merge, (0, 1)),
+                ("split", w_split, (2,)),
+            ]
+    by_window: Dict[int, List[Tuple[str, Tuple[int, ...]]]] = {}
+    for kind, window, targets in schedule:
+        if not 0 <= window < n_windows:
+            raise ValueError(f"event window {window} out of range")
+        by_window.setdefault(window, []).append((kind, tuple(targets)))
+
+    live: Dict[int, np.ndarray] = {}
+    edge_sets: Dict[int, Set[Tuple[int, int]]] = {}
+    events: List[CommunityEvent] = []
+    next_cid = 0
+    free = list(range(n_communities * community_size, n_vertices))
+
+    def _spawn(members: np.ndarray) -> int:
+        nonlocal next_cid
+        cid = next_cid
+        next_cid += 1
+        live[cid] = np.asarray(members, dtype=np.int64)
+        edge_sets[cid] = _sample_community_edges(live[cid], p_in, rng)
+        return cid
+
+    for c in range(n_communities):
+        lo = c * community_size
+        cid = _spawn(np.arange(lo, lo + community_size))
+        events.append(CommunityEvent("birth", 0, (cid,)))
+
+    rows: List[Tuple[int, int, float, float]] = []
+    memberships: List[np.ndarray] = []
+
+    for w in range(n_windows):
+        for kind, targets in by_window.get(w, ()):
+            if kind == "merge":
+                a, b = targets
+                merged_members = np.concatenate([live.pop(a), live.pop(b)])
+                edge_sets.pop(a)
+                edge_sets.pop(b)
+                cid = _spawn(np.sort(merged_members))
+                events.append(CommunityEvent("merge", w, (a, b, cid)))
+            elif kind == "split":
+                (a,) = targets
+                members = live.pop(a)
+                edge_sets.pop(a)
+                half = len(members) // 2
+                left = _spawn(members[:half])
+                right = _spawn(members[half:])
+                events.append(CommunityEvent("split", w, (a, left, right)))
+            elif kind == "death":
+                (a,) = targets
+                live.pop(a)
+                edge_sets.pop(a)
+                events.append(CommunityEvent("death", w, (a,)))
+            elif kind == "birth":
+                if len(free) < community_size:
+                    raise ValueError("background pool exhausted for birth")
+                members = np.array(free[:community_size], dtype=np.int64)
+                del free[:community_size]
+                cid = _spawn(members)
+                events.append(CommunityEvent("birth", w, (cid,)))
+            else:
+                raise ValueError(f"unknown event kind {kind!r}")
+
+        membership = np.full(n_vertices, -1, dtype=np.int64)
+        for cid in sorted(live):
+            membership[live[cid]] = cid
+            if w > 0:
+                _churn_community_edges(edge_sets[cid], live[cid], churn, rng)
+            for u, v in sorted(edge_sets[cid]):
+                ts = w + 0.01 + 0.98 * rng.random()
+                rows.append((u, v, ts, 1.0))
+        memberships.append(membership)
+
+        # Noise always touches >= 1 background vertex, and every
+        # background vertex carries at most 2 noise edges per window:
+        # its degree stays strictly below any alpha >= 3, so noise can
+        # never pull background into the alpha-cut and bridge two
+        # planted communities into one spurious peak.
+        pool = np.flatnonzero(membership < 0)
+        pool_set = set(int(x) for x in pool)
+        used: Dict[int, int] = {}
+        if len(pool):
+            for _ in range(noise_per_window):
+                u = int(pool[rng.integers(0, len(pool))])
+                v = int(rng.integers(0, n_vertices))
+                if u == v or used.get(u, 0) >= 2:
+                    continue
+                if v in pool_set and used.get(v, 0) >= 2:
+                    continue
+                used[u] = used.get(u, 0) + 1
+                if v in pool_set:
+                    used[v] = used.get(v, 0) + 1
+                ts = w + 0.01 + 0.98 * rng.random()
+                rows.append((u, v, ts, 1.0))
+
+    arr = np.array(rows, dtype=np.float64).reshape(-1, 4)
+    arr = arr[np.argsort(arr[:, 2], kind="stable")]
+    return DynamicCommunityLog(
+        rows=arr,
+        memberships=memberships,
+        events=events,
+        n_vertices=n_vertices,
+        n_windows=n_windows,
+    )

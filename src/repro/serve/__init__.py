@@ -26,6 +26,10 @@ service on ``asyncio.start_server``, zero new runtime dependencies.
     ``GET /stream/{session}`` — SSE replay of a JSONL edit log through
     the streaming pipeline, pushing dirty-tile invalidations and frame
     summaries.
+``repro.serve.evolve``
+    Temporal evolution endpoints — ``/evolve/windows``, peak
+    trajectories, signed terrain-diff tiles, and window-frame SSE on
+    the stream channel (see :mod:`repro.evolve`).
 ``repro.serve.testing``
     :class:`ServerThread` — run an app on a background thread for
     tests, benchmarks and example clients.
@@ -42,6 +46,7 @@ or embed::
 """
 
 from .app import ServeApp
+from .evolve import EvolveRun, EvolveSession, evolve_sse_events
 from .http import (
     EventStreamResponse,
     HTTPError,
@@ -64,6 +69,9 @@ __all__ = [
     "StreamSession",
     "sse_events",
     "dirty_tiles",
+    "EvolveSession",
+    "EvolveRun",
+    "evolve_sse_events",
     "HTTPServer",
     "HTTPError",
     "Router",

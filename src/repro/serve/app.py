@@ -24,11 +24,17 @@ Routes
                               hover hit-test via ``TerrainLayout.node_at``
 ``GET /treemap.svg?dataset=&measure=``   linked 2D treemap
 ``GET /profile.svg?dataset=&measure=``   linked 1D profile
-``GET /stream/{session}``     SSE replay (see :mod:`repro.serve.stream`)
+``GET /stream/{session}``     SSE replay (see :mod:`repro.serve.stream`);
+                              evolve sessions replay window frames here
+``GET /evolve/windows``       per-window summary of an evolve run
+``GET /evolve/peaks/{id}``    one tracked peak trajectory + its events
+``GET /evolve/diff/{w}/{tx}/{ty}``
+                              signed terrain-diff tile; strong ETag
 """
 
 from __future__ import annotations
 
+import asyncio
 import time
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
@@ -40,8 +46,9 @@ from ..engine.pipeline import Pipeline
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from . import workers
+from .evolve import EvolveRun, EvolveSession, evolve_sse_events
 from .http import EventStreamResponse, HTTPError, Request, Response, Router
-from .lod import LODPyramid
+from .lod import LODPyramid, tile_etag
 from .stream import StreamSession, sse_events
 from .workers import StageRunner
 
@@ -61,6 +68,10 @@ _M_TILES = obs_metrics.REGISTRY.counter(
 )
 _M_UPTIME = obs_metrics.REGISTRY.gauge(
     "repro_serve_uptime_seconds", "Server uptime (monotonic clock)."
+)
+_M_DIFF_TILES = obs_metrics.REGISTRY.counter(
+    "repro_evolve_diff_tiles_served_total",
+    "Terrain-diff tiles served by evolve runs.",
 )
 
 
@@ -105,6 +116,12 @@ class ServeApp:
         self.max_disk_bytes = max_disk_bytes
         self.datasets: Dict[str, _DatasetEntry] = {}
         self.sessions: Dict[str, StreamSession] = {}
+        self.evolve_sessions: Dict[str, EvolveSession] = {}
+        # Coalesced evolve materializations: one asyncio future per run
+        # name.  Runs are stateful (tracker + rasterized fields), so
+        # they build on the thread executor even in process mode —
+        # exactly like the SSE replays.
+        self._evolve_futures: Dict[str, "asyncio.Future"] = {}
         self._pyramids: Dict[Tuple[str, str], LODPyramid] = {}
         self._ready: Dict[Tuple[str, str], Dict[str, object]] = {}
         # Encoded warm tiles: logical key -> (payload, etag).  Static
@@ -174,7 +191,124 @@ class ServeApp:
         self.datasets[name] = _DatasetEntry(name, source, list(measures))
 
     def add_stream_session(self, session: StreamSession) -> None:
+        if session.name in self.evolve_sessions:
+            raise ValueError(
+                f"name {session.name!r} already taken by an evolve run"
+            )
         self.sessions[session.name] = session
+
+    def add_evolve_session(self, session: EvolveSession) -> None:
+        # Both session kinds share the /stream/{name} channel, so the
+        # name must be unique across them.
+        if session.name in self.sessions or session.name in (
+            self.evolve_sessions
+        ):
+            raise ValueError(f"session name {session.name!r} already taken")
+        self.evolve_sessions[session.name] = session
+
+    # -- evolve ---------------------------------------------------------
+    def _evolve_session(self, request: Request) -> EvolveSession:
+        if not self.evolve_sessions:
+            raise HTTPError(404, "no evolve runs registered")
+        default = next(iter(self.evolve_sessions))
+        name = request.query_str("run", default=default)
+        session = self.evolve_sessions.get(name)
+        if session is None:
+            raise HTTPError(
+                404,
+                f"unknown evolve run {name!r} "
+                f"(available: {', '.join(sorted(self.evolve_sessions))})",
+            )
+        return session
+
+    def _evolve_run(self, session: EvolveSession) -> "asyncio.Future":
+        """The coalesced materialization future for one evolve run."""
+        fut = self._evolve_futures.get(session.name)
+        if fut is None or (fut.done() and fut.exception() is not None):
+            loop = asyncio.get_running_loop()
+            fut = asyncio.ensure_future(
+                loop.run_in_executor(
+                    self.runner.thread_executor,
+                    EvolveRun, session, self.cache,
+                )
+            )
+            self._evolve_futures[session.name] = fut
+        return fut
+
+    async def _get_evolve_windows(self, request: Request) -> Response:
+        session = self._evolve_session(request)
+        run: EvolveRun = await self._evolve_run(session)
+        return Response.json_(
+            {
+                "run": session.name,
+                "runs": sorted(self.evolve_sessions),
+                "measure": session.measure,
+                "horizon": session.horizon,
+                "tiles_per_side": run.tiler.tiles_per_side,
+                "tile_size": session.tile_size,
+                "windows": run.windows,
+                "tracker": run.stats(),
+            }
+        )
+
+    async def _get_evolve_peak(
+        self, request: Request, tid: str
+    ) -> Response:
+        session = self._evolve_session(request)
+        run: EvolveRun = await self._evolve_run(session)
+        try:
+            tid_i = int(tid)
+        except ValueError:
+            raise HTTPError(400, "trajectory id must be an integer")
+        doc = run.trajectory(tid_i)
+        if doc is None:
+            raise HTTPError(
+                404,
+                f"no trajectory {tid_i} in run {session.name!r} "
+                f"({len(run.tracker.trajectories)} tracked)",
+            )
+        return Response.json_(dict(doc, run=session.name))
+
+    async def _get_evolve_diff(
+        self, request: Request, w: str, tx: str, ty: str
+    ) -> Response:
+        session = self._evolve_session(request)
+        run: EvolveRun = await self._evolve_run(session)
+        try:
+            w_i, tx_i, ty_i = int(w), int(tx), int(ty)
+        except ValueError:
+            raise HTTPError(400, "diff tile coordinates must be integers")
+        per = run.tiler.tiles_per_side
+        if not (1 <= w_i < run.n_windows and 0 <= tx_i < per and 0 <= ty_i < per):
+            raise HTTPError(
+                404,
+                f"no diff tile ({w_i}, {tx_i}, {ty_i}) — run "
+                f"{session.name!r} has windows 1..{run.n_windows - 1} "
+                f"on a {per}x{per} grid",
+            )
+        memo_key = f"evolvediff:{session.name}:{w_i}:{tx_i}:{ty_i}"
+        cached = self._payload_get(memo_key)
+        if cached is None:
+            loop = asyncio.get_running_loop()
+            payload = await loop.run_in_executor(
+                self.runner.thread_executor,
+                run.tile_payload, w_i, tx_i, ty_i,
+            )
+            cached = (payload, tile_etag(payload))
+            self._payload_put(memo_key, cached)
+        payload, etag = cached
+        _M_DIFF_TILES.inc()
+        headers = [
+            ("ETag", etag),
+            ("Cache-Control", _TILE_CACHE_CONTROL),
+        ]
+        if etag in request.if_none_match() or "*" in request.if_none_match():
+            return Response(304, b"", headers=headers)
+        return Response(
+            200, payload,
+            content_type="application/x-repro-tile",
+            headers=headers,
+        )
 
     # -- lookup helpers -------------------------------------------------
     def _entry(self, ds: str) -> _DatasetEntry:
@@ -290,6 +424,9 @@ class ServeApp:
                     "/treemap.svg?dataset=&measure=",
                     "/profile.svg?dataset=&measure=",
                     "/stream/{session}",
+                    "/evolve/windows",
+                    "/evolve/peaks/{id}",
+                    "/evolve/diff/{w}/{tx}/{ty}",
                     "/stats",
                     "/metrics",
                     "/healthz",
@@ -329,6 +466,33 @@ class ServeApp:
                 "native": accel_native.info(),
             },
         }
+        if self.evolve_sessions:
+            # Materialized runs only — a stats scrape never triggers a
+            # timeline build.  The same numbers back the
+            # repro_evolve_run_* gauges on /metrics.
+            runs = {}
+            for name in sorted(self.evolve_sessions):
+                fut = self._evolve_futures.get(name)
+                if (
+                    fut is not None
+                    and fut.done()
+                    and fut.exception() is None
+                ):
+                    runs[name] = fut.result().stats()
+                else:
+                    runs[name] = {"built": False}
+            payload["evolve"] = {
+                "runs": runs,
+                "windows": sum(
+                    r.get("windows", 0) for r in runs.values()
+                ),
+                "tracked_peaks": sum(
+                    r.get("trajectories", 0) for r in runs.values()
+                ),
+                "live_trajectories": sum(
+                    r.get("live", 0) for r in runs.values()
+                ),
+            }
         if self.dist is not None:
             # Shard summary per built pipeline (in process mode the
             # dist backend is off in workers; say so instead of lying).
@@ -394,6 +558,7 @@ class ServeApp:
                 "datasets": rows,
                 "bins": self.bins,
                 "sessions": sorted(self.sessions),
+                "evolve": sorted(self.evolve_sessions),
             }
         )
 
@@ -497,6 +662,13 @@ class ServeApp:
     async def _get_stream(
         self, request: Request, session: str
     ) -> EventStreamResponse:
+        # Evolve sessions share the stream channel: same SSE transport,
+        # window-frame events instead of edit-batch replays.
+        evolve = self.evolve_sessions.get(session)
+        if evolve is not None:
+            return EventStreamResponse(
+                evolve_sse_events(self._evolve_run(evolve), evolve)
+            )
         spec = self.sessions.get(session)
         if spec is None:
             raise HTTPError(404, f"unknown stream session {session!r}")
@@ -516,4 +688,7 @@ class ServeApp:
         router.get("/treemap.svg", self._get_treemap)
         router.get("/profile.svg", self._get_profile)
         router.get("/stream/{session}", self._get_stream)
+        router.get("/evolve/windows", self._get_evolve_windows)
+        router.get("/evolve/peaks/{tid}", self._get_evolve_peak)
+        router.get("/evolve/diff/{w}/{tx}/{ty}", self._get_evolve_diff)
         return router

@@ -12,6 +12,13 @@ windowed edit records the item's baseline (its pre-stream state); while
 later edits keep touching the item its clock keeps resetting; when the
 *last* edit touching the item expires, the item reverts to its baseline.
 This keeps overlapping edits well-defined without replaying history.
+
+Expiry is **deterministic for equal timestamps**: every windowed edit
+gets a monotonically increasing sequence number, an item is kept alive
+by its highest-sequence touch (not merely its latest timestamp), and a
+batch of same-cutoff reverts is emitted in insertion order.  Window
+contents are therefore a pure function of the pushed edit sequence —
+the reproducibility :mod:`repro.evolve`'s peak tracker builds on.
 """
 
 from __future__ import annotations
@@ -48,11 +55,16 @@ class SlidingWindow:
         self.stream = stream
         self.horizon = float(horizon)
         self._now = -float("inf")
-        # (time, key) entries in push order; key = (kind, id-tuple)
-        self._entries: Deque[Tuple[float, Tuple[str, Tuple[int, ...]]]] = (
-            deque()
-        )
-        self._last_touch: Dict[Tuple[str, Tuple[int, ...]], float] = {}
+        # (time, seq, key) entries in push order; key = (kind, id-tuple).
+        # ``seq`` is a per-window edit counter: the insertion-order
+        # tie-break that keeps expiry deterministic when many edits
+        # share one timestamp (an item stays alive until its
+        # highest-sequence touch expires, never just its latest time).
+        self._entries: Deque[
+            Tuple[float, int, Tuple[str, Tuple[int, ...]]]
+        ] = deque()
+        self._seq = 0
+        self._last_touch: Dict[Tuple[str, Tuple[int, ...]], int] = {}
         # Baseline state captured at the item's first windowed edit:
         # scalar value for vertices, edge-presence bool for edges.
         self._baseline: Dict[Tuple[str, Tuple[int, ...]], object] = {}
@@ -74,13 +86,15 @@ class SlidingWindow:
         Returns ``(reverts, reverted)`` where ``reverted`` maps each
         reverted key to its restored baseline — a same-push re-touch of
         that item must treat the restored value as its new baseline.
+        Reverts are emitted in insertion order of each item's *final*
+        touch, so equal-timestamp expiry is reproducible.
         """
         cutoff = when - self.horizon
         reverts: Batch = []
         reverted: Dict[Tuple[str, Tuple[int, ...]], object] = {}
         while self._entries and self._entries[0][0] <= cutoff:
-            t, key = self._entries.popleft()
-            if self._last_touch.get(key) != t:
+            _t, seq, key = self._entries.popleft()
+            if self._last_touch.get(key) != seq:
                 continue  # a later edit keeps this item alive
             del self._last_touch[key]
             baseline = self._baseline.pop(key)
@@ -117,8 +131,9 @@ class SlidingWindow:
                     )
                 else:
                     self._baseline[key] = self.stream.delta.has_edge(*ids)
-            self._last_touch[key] = when
-            self._entries.append((when, key))
+            self._seq += 1
+            self._last_touch[key] = self._seq
+            self._entries.append((when, self._seq, key))
             batch.append(edit)
         return self.stream.apply(batch)
 

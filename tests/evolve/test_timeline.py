@@ -1,0 +1,125 @@
+"""Windowed timeline: slicing, gaps, exactness, loader integration."""
+
+import numpy as np
+import pytest
+
+from repro.evolve import (
+    Timeline,
+    frames_from_log,
+    frames_from_rows,
+    temporal_log_stats,
+)
+from repro.graph.generators import dynamic_planted_partition
+from repro.graph.io import write_temporal_edge_list
+
+
+def _rows(triples):
+    """(u, v, ts) triples -> (k, 4) row array with unit weights."""
+    arr = np.array([[u, v, ts, 1.0] for u, v, ts in triples], np.float64)
+    return arr.reshape(-1, 4)
+
+
+class TestSlicing:
+    def test_one_frame_per_window(self):
+        rows = _rows([(0, 1, 0.1), (1, 2, 0.2), (2, 3, 1.5), (0, 3, 2.5)])
+        frames = list(frames_from_rows(rows, 4, horizon=1.0, origin=0.0))
+        assert [f.index for f in frames] == [0, 1, 2]
+        assert [f.n_edges for f in frames] == [2, 1, 1]
+        assert [f.n_new_edges for f in frames] == [2, 1, 1]
+        assert frames[0].t_start == 0.0
+        assert frames[0].t_end == 1.0
+
+    def test_quiet_interval_emits_empty_frames(self):
+        rows = _rows([(0, 1, 0.5), (2, 3, 3.5)])
+        frames = list(frames_from_rows(rows, 4, horizon=1.0, origin=0.0))
+        assert [f.index for f in frames] == [0, 1, 2, 3]
+        assert [f.n_edges for f in frames] == [1, 0, 0, 1]
+
+    def test_default_origin_puts_first_edge_in_frame_zero(self):
+        rows = _rows([(0, 1, 7.0), (1, 2, 7.9)])
+        (frame,) = frames_from_rows(rows, 3, horizon=1.0)
+        assert frame.index == 0
+        assert frame.n_edges == 2
+
+    def test_duplicate_and_self_loop_rows_collapse(self):
+        rows = _rows([
+            (0, 1, 0.1), (1, 0, 0.2), (0, 1, 0.3), (2, 2, 0.4),
+        ])
+        (frame,) = frames_from_rows(rows, 3, horizon=1.0, origin=0.0)
+        assert frame.n_edges == 1  # one undirected edge, loop dropped
+
+    def test_scalars_follow_the_window(self):
+        # degree must be the *window's* degree, not cumulative.
+        rows = _rows([(0, 1, 0.5), (0, 2, 1.5)])
+        f0, f1 = frames_from_rows(rows, 3, horizon=1.0, origin=0.0)
+        assert f0.scalars.tolist() == [1.0, 1.0, 0.0]
+        assert f1.scalars.tolist() == [1.0, 0.0, 1.0]
+
+    def test_sliding_stride_overlaps(self):
+        rows = _rows([(0, 1, 0.25), (1, 2, 0.75), (2, 3, 1.25)])
+        frames = list(frames_from_rows(
+            rows, 4, horizon=1.0, stride=0.5, origin=0.0
+        ))
+        # Frames end at 1.0, 1.5, ...; the first holds both sub-0.5
+        # edges, the second still holds the 0.75 edge (within horizon).
+        assert frames[0].n_edges == 2
+        assert frames[1].n_edges >= 2
+
+    def test_unsorted_rows_rejected(self):
+        rows = _rows([(0, 1, 2.0), (1, 2, 1.0)])
+        with pytest.raises(ValueError, match="non-decreasing"):
+            list(frames_from_rows(rows, 3))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Timeline(4, horizon=0.0)
+        with pytest.raises(ValueError):
+            Timeline(4, stride=-1.0)
+        with pytest.raises(ValueError):
+            Timeline(4, measure="ktruss")  # edge measure
+
+
+class TestLogIntegration:
+    @pytest.fixture(scope="class")
+    def log(self):
+        return dynamic_planted_partition(n_windows=4, seed=1)
+
+    def test_frames_from_log_matches_rows(self, log, tmp_path):
+        path = tmp_path / "dyn.tsv"
+        log.write(path)
+        stats = temporal_log_stats(path)
+        assert stats["n_rows"] == len(log.rows)
+        from_rows = list(frames_from_rows(
+            log.rows, log.n_vertices, origin=log.origin
+        ))
+        from_log = list(frames_from_log(
+            path, origin=log.origin, chunk_edges=37
+        ))
+        assert len(from_rows) == len(from_log) == log.n_windows
+        for a, b in zip(from_rows, from_log):
+            assert a.n_edges == b.n_edges
+            assert np.array_equal(a.scalars, b.scalars)
+            assert np.array_equal(a.tree.parent, b.tree.parent)
+
+    def test_unsorted_log_is_sorted_on_the_fly(self, log, tmp_path):
+        path = tmp_path / "shuffled.tsv"
+        rng = np.random.default_rng(0)
+        write_temporal_edge_list(
+            log.rows[rng.permutation(len(log.rows))], path
+        )
+        frames = list(frames_from_log(
+            path, origin=log.origin, chunk_edges=53
+        ))
+        ref = list(frames_from_rows(
+            log.rows, log.n_vertices, origin=log.origin
+        ))
+        assert [f.n_edges for f in frames] == [f.n_edges for f in ref]
+
+    def test_describe_is_json_shaped(self, log):
+        frame = next(iter(frames_from_rows(
+            log.rows, log.n_vertices, origin=log.origin
+        )))
+        doc = frame.describe()
+        assert doc["index"] == 0
+        assert doc["n_edges"] == frame.n_edges
+        assert {"t_start", "t_end", "super_nodes"} <= set(doc)

@@ -1,0 +1,192 @@
+"""Peak tracking: lifecycle events, trajectories, planted-truth F1."""
+
+import numpy as np
+import pytest
+
+from repro.evolve import (
+    PeakSnapshot,
+    PeakTracker,
+    auto_alpha,
+    event_f1,
+    frames_from_rows,
+    peaks_from_tree,
+)
+from repro.graph.generators import dynamic_planted_partition
+
+
+def _snap(window, members, summit=5.0, alpha=1.0):
+    return PeakSnapshot(window, frozenset(members), summit, alpha)
+
+
+def _kinds(events):
+    return [e.kind for e in events]
+
+
+class TestLifecycle:
+    def test_birth_then_continuation(self):
+        t = PeakTracker()
+        ev0 = t.observe(0, [_snap(0, range(10))])
+        assert _kinds(ev0) == ["birth"]
+        ev1 = t.observe(1, [_snap(1, range(10))])
+        assert ev1 == []
+        traj = t.trajectories[ev0[0].trajectory]
+        assert traj.windows == [0, 1]
+        assert traj.alive
+
+    def test_death_after_disappearance(self):
+        t = PeakTracker()
+        t.observe(0, [_snap(0, range(10))])
+        ev = t.observe(1, [])
+        assert _kinds(ev) == ["death"]
+        assert not t.trajectories[ev[0].trajectory].alive
+        assert t.live == []
+
+    def test_growth_and_shrink(self):
+        t = PeakTracker(growth_threshold=0.25)
+        t.observe(0, [_snap(0, range(8))])
+        grow = t.observe(1, [_snap(1, range(12))])  # +50%
+        assert _kinds(grow) == ["growth"]
+        shrink = t.observe(2, [_snap(2, range(6))])  # -50%
+        assert _kinds(shrink) == ["shrink"]
+        stable = t.observe(3, [_snap(3, range(6))])
+        assert stable == []
+
+    def test_merge_absorbs_the_other_trajectory(self):
+        t = PeakTracker()
+        ev0 = t.observe(0, [_snap(0, range(0, 10)), _snap(0, range(20, 30))])
+        a, b = sorted(e.trajectory for e in ev0)
+        ev1 = t.observe(1, [_snap(1, list(range(0, 10)) + list(range(20, 30)))])
+        merges = [e for e in ev1 if e.kind == "merge"]
+        assert len(merges) == 1
+        survivor = merges[0].trajectory
+        absorbed = set(merges[0].others)
+        assert {survivor} | absorbed == {a, b}
+        assert t.live == [survivor]
+
+    def test_split_spawns_children(self):
+        t = PeakTracker()
+        ev0 = t.observe(0, [_snap(0, range(20))])
+        parent = ev0[0].trajectory
+        ev1 = t.observe(1, [_snap(1, range(0, 10)), _snap(1, range(10, 20))])
+        splits = [e for e in ev1 if e.kind == "split"]
+        assert len(splits) == 1
+        assert splits[0].trajectory == parent
+        assert len(splits[0].others) >= 1
+        assert len(t.live) == 2
+
+    def test_small_peaks_ignored(self):
+        t = PeakTracker(min_size=5)
+        assert t.observe(0, [_snap(0, range(3))]) == []
+        assert t.trajectories == {}
+
+    def test_windows_must_advance(self):
+        t = PeakTracker()
+        t.observe(1, [])
+        with pytest.raises(ValueError):
+            t.observe(1, [])
+
+    def test_stats_counts_every_kind(self):
+        t = PeakTracker()
+        t.observe(0, [_snap(0, range(10))])
+        t.observe(1, [])
+        stats = t.stats()
+        assert stats["trajectories"] == 1
+        assert stats["live"] == 0
+        assert stats["events"]["birth"] == 1
+        assert stats["events"]["death"] == 1
+
+
+class TestEventF1:
+    class _E:
+        def __init__(self, kind, window):
+            self.kind, self.window = kind, window
+
+    def test_perfect_match(self):
+        pred = [self._E("merge", 3), self._E("birth", 0)]
+        truth = [self._E("birth", 0), self._E("merge", 3)]
+        assert event_f1(pred, truth) == 1.0
+
+    def test_window_tolerance(self):
+        assert event_f1(
+            [self._E("merge", 3)], [self._E("merge", 4)], tolerance=1
+        ) == 1.0
+        assert event_f1(
+            [self._E("merge", 2)], [self._E("merge", 4)], tolerance=1
+        ) == 0.0
+
+    def test_empty_cases(self):
+        assert event_f1([], []) == 1.0
+        assert event_f1([self._E("birth", 0)], []) == 0.0
+        assert event_f1([], [self._E("birth", 0)]) == 0.0
+
+    def test_spurious_events_cost_precision(self):
+        truth = [self._E("merge", 3)]
+        pred = [self._E("merge", 3), self._E("split", 5)]
+        # precision 1/2, recall 1 -> F1 = 2/3.
+        assert event_f1(pred, truth) == pytest.approx(2 / 3)
+
+
+class TestPeaksFromTree:
+    def test_peaks_partition_the_alpha_cut(self):
+        log = dynamic_planted_partition(n_windows=2, seed=0)
+        frame = next(iter(frames_from_rows(
+            log.rows, log.n_vertices, origin=log.origin
+        )))
+        peaks = peaks_from_tree(frame.super, alpha=3.0, min_size=3)
+        members = [p.members for p in peaks]
+        for i, a in enumerate(members):
+            assert all(not (a & b) for b in members[i + 1:])
+        for p in peaks:
+            assert p.summit >= 3.0
+            assert p.alpha == 3.0
+
+    def test_auto_alpha_midpoint(self):
+        assert auto_alpha(np.array([0.0, 4.0])) == 2.0
+        assert auto_alpha(np.array([])) == 0.0
+
+
+class TestPlantedAccuracy:
+    """Acceptance: >= 0.9 event-F1 against the generator's ground truth."""
+
+    REGIME = dict(
+        n_windows=8, community_size=16, p_in=0.8, churn=0.2,
+        noise_per_window=6,
+    )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_event_f1_at_least_point_nine(self, seed):
+        log = dynamic_planted_partition(seed=seed, **self.REGIME)
+        tracker = PeakTracker(min_size=5)
+        for frame in frames_from_rows(
+            log.rows, log.n_vertices, origin=log.origin
+        ):
+            peaks = peaks_from_tree(
+                frame.super, alpha=3.0, min_size=5, window=frame.index
+            )
+            tracker.observe(frame.index, peaks)
+        score = event_f1(tracker.events, log.events)
+        assert score >= 0.9, (
+            f"seed {seed}: event F1 {score:.3f} < 0.9 "
+            f"(pred {sorted(_kinds(tracker.events))})"
+        )
+
+    def test_rich_schedule(self):
+        log = dynamic_planted_partition(
+            n_vertices=160, n_windows=10, n_communities=4,
+            community_size=16, p_in=0.8, churn=0.2,
+            noise_per_window=6, seed=0,
+            schedule=[
+                ("merge", 3, (0, 1)),
+                ("death", 5, (2,)),
+                ("birth", 6, ()),
+                ("split", 7, (3,)),
+            ],
+        )
+        tracker = PeakTracker(min_size=5)
+        for frame in frames_from_rows(
+            log.rows, log.n_vertices, origin=log.origin
+        ):
+            tracker.observe(frame.index, peaks_from_tree(
+                frame.super, alpha=3.0, min_size=5, window=frame.index
+            ))
+        assert event_f1(tracker.events, log.events) >= 0.9

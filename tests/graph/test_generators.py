@@ -139,3 +139,104 @@ class TestStructuredGenerators:
         kc = core_numbers(g)
         layer = np.arange(g.n_vertices) // 20
         assert kc[layer == 0].mean() > kc[layer == 2].mean()
+
+
+class TestDynamicPlantedPartition:
+    @pytest.fixture(scope="class")
+    def log(self):
+        return gen.dynamic_planted_partition(seed=3)
+
+    def test_deterministic(self, log):
+        again = gen.dynamic_planted_partition(seed=3)
+        assert np.array_equal(log.rows, again.rows)
+        assert log.events == again.events
+        for a, b in zip(log.memberships, again.memberships):
+            assert np.array_equal(a, b)
+
+    def test_rows_shape_and_sorted(self, log):
+        assert log.rows.shape[1] == 4
+        ts = log.rows[:, 2]
+        assert np.all(np.diff(ts) >= 0)
+        # Window w's timestamps lie strictly inside (w, w+1), so a
+        # horizon-1 timeline at origin 0 maps window w to frame w.
+        windows = np.floor(ts).astype(int)
+        assert np.all(ts > windows)
+        assert np.all(ts < windows + 1)
+        assert windows.min() == 0
+        assert windows.max() == log.n_windows - 1
+        assert log.origin == 0.0
+
+    def test_memberships_cover_every_window(self, log):
+        assert len(log.memberships) == log.n_windows
+        for m in log.memberships:
+            assert m.shape == (log.n_vertices,)
+
+    def test_default_schedule_has_merge_and_split(self, log):
+        kinds = [e.kind for e in log.events]
+        assert kinds.count("merge") == 1
+        assert kinds.count("split") == 1
+        assert kinds.count("birth") >= 3
+
+    def test_merge_unions_memberships(self, log):
+        (merge,) = [e for e in log.events if e.kind == "merge"]
+        a, b, merged = merge.communities
+        before = set(np.flatnonzero(
+            np.isin(log.memberships[merge.window - 1], [a, b])
+        ))
+        after = set(np.flatnonzero(
+            log.memberships[merge.window] == merged
+        ))
+        assert before == after
+
+    def test_split_partitions_membership(self, log):
+        (split,) = [e for e in log.events if e.kind == "split"]
+        parent, left, right = split.communities
+        before = set(np.flatnonzero(
+            log.memberships[split.window - 1] == parent
+        ))
+        lset = set(np.flatnonzero(log.memberships[split.window] == left))
+        rset = set(np.flatnonzero(log.memberships[split.window] == right))
+        assert lset and rset
+        assert lset | rset == before
+        assert not (lset & rset)
+
+    def test_noise_capped_per_background_vertex(self, log):
+        # No background vertex collects more than 2 noise edges in one
+        # window -- the cap that keeps noise out of the alpha-cut.
+        windows = np.floor(log.rows[:, 2]).astype(int)
+        for w in range(log.n_windows):
+            members = log.memberships[w]
+            rows = log.rows[windows == w]
+            touch = {}
+            for u, v, _, _ in rows:
+                u, v = int(u), int(v)
+                if members[u] >= 0 and members[v] >= 0:
+                    continue  # community edge (or planted bridge-free)
+                for x in (u, v):
+                    if members[x] < 0:
+                        touch[x] = touch.get(x, 0) + 1
+            assert all(c <= 2 for c in touch.values())
+
+    def test_members_at(self, log):
+        m0 = log.members_at(0, 0)
+        assert m0.size > 0
+        assert np.all(log.memberships[0][m0] == 0)
+
+    def test_write_roundtrips_through_temporal_reader(self, log, tmp_path):
+        from repro.graph.io import iter_temporal_edge_chunks
+
+        path = tmp_path / "dyn.tsv"
+        log.write(path)
+        rows = np.concatenate(list(iter_temporal_edge_chunks(path)))
+        assert np.allclose(rows, log.rows)
+
+    def test_schedule_validation(self):
+        with pytest.raises(ValueError):
+            gen.dynamic_planted_partition(
+                n_windows=4,
+                schedule=[("merge", 9, (0, 1))],
+            )
+        with pytest.raises(ValueError):
+            gen.dynamic_planted_partition(
+                schedule=[("eat", 2, (0,))],
+            )

@@ -5,12 +5,16 @@ import pytest
 
 from repro.graph import from_edges
 from repro.graph.io import (
+    TemporalEdgeError,
     iter_edge_chunks,
+    iter_temporal_edge_chunks,
+    iter_temporal_edges_sorted,
     read_edge_list,
     read_edge_scalars,
     read_vertex_scalars,
     write_edge_list,
     write_edge_scalars,
+    write_temporal_edge_list,
     write_vertex_scalars,
 )
 
@@ -82,6 +86,106 @@ class TestEdgeList:
         path.write_text("0 1\n")
         g = read_edge_list(path, n_vertices=5)
         assert g.n_vertices == 5
+
+
+class TestTemporalEdgeChunks:
+    def test_chunks_and_default_weight(self, tmp_path):
+        path = tmp_path / "t.tsv"
+        path.write_text("# ts log\n0 1 3.5\n1 2 0.5 2.0\n\n2 3 7.0\n")
+        chunks = list(iter_temporal_edge_chunks(path, chunk_edges=2))
+        assert [len(c) for c in chunks] == [2, 1]
+        rows = np.concatenate(chunks)
+        assert rows.tolist() == [
+            [0.0, 1.0, 3.5, 1.0],
+            [1.0, 2.0, 0.5, 2.0],
+            [2.0, 3.0, 7.0, 1.0],
+        ]
+
+    def test_bad_arity_reports_line_number(self, tmp_path):
+        path = tmp_path / "t.tsv"
+        path.write_text("# header\n0 1 1.0\n0 1\n")
+        with pytest.raises(TemporalEdgeError) as err:
+            list(iter_temporal_edge_chunks(path))
+        assert err.value.line_no == 3
+        assert str(path) in str(err.value)
+        assert "3:" in str(err.value)
+
+    def test_non_numeric_timestamp(self, tmp_path):
+        path = tmp_path / "t.tsv"
+        path.write_text("0 1 yesterday\n")
+        with pytest.raises(TemporalEdgeError) as err:
+            list(iter_temporal_edge_chunks(path))
+        assert err.value.line_no == 1
+        assert "timestamp" in err.value.reason
+
+    def test_non_finite_timestamp(self, tmp_path):
+        path = tmp_path / "t.tsv"
+        path.write_text("0 1 nan\n")
+        with pytest.raises(TemporalEdgeError):
+            list(iter_temporal_edge_chunks(path))
+
+    def test_negative_weight(self, tmp_path):
+        path = tmp_path / "t.tsv"
+        path.write_text("0 1 1.0 1.0\n1 2 2.0 -0.5\n")
+        with pytest.raises(TemporalEdgeError) as err:
+            list(iter_temporal_edge_chunks(path))
+        assert err.value.line_no == 2
+        assert "weight" in err.value.reason
+
+    def test_negative_endpoint(self, tmp_path):
+        path = tmp_path / "t.tsv"
+        path.write_text("-1 2 1.0\n")
+        with pytest.raises(TemporalEdgeError) as err:
+            list(iter_temporal_edge_chunks(path))
+        assert err.value.line_no == 1
+
+    def test_error_is_a_value_error(self, tmp_path):
+        path = tmp_path / "t.tsv"
+        path.write_text("0\n")
+        with pytest.raises(ValueError):
+            list(iter_temporal_edge_chunks(path))
+
+
+class TestTemporalSorted:
+    def test_streamed_sort_matches_full_sort(self, tmp_path):
+        rng = np.random.default_rng(7)
+        n = 100
+        rows = np.column_stack([
+            rng.integers(0, 20, n),
+            rng.integers(0, 20, n),
+            rng.permutation(n).astype(float),
+            np.ones(n),
+        ]).astype(np.float64)
+        path = tmp_path / "t.tsv"
+        write_temporal_edge_list(rows, path, header="shuffled")
+        # Tiny chunks force the external merge path (many runs).
+        streamed = np.concatenate(
+            list(iter_temporal_edges_sorted(path, chunk_edges=7))
+        )
+        expected = rows[np.argsort(rows[:, 2], kind="stable")]
+        assert np.array_equal(streamed, expected)
+
+    def test_equal_timestamps_keep_file_order(self, tmp_path):
+        path = tmp_path / "t.tsv"
+        path.write_text("0 1 5.0\n2 3 5.0\n4 5 1.0\n6 7 5.0\n")
+        rows = np.concatenate(
+            list(iter_temporal_edges_sorted(path, chunk_edges=2))
+        )
+        assert rows[:, 0].tolist() == [4.0, 0.0, 2.0, 6.0]
+
+    def test_already_sorted_roundtrip(self, tmp_path):
+        path = tmp_path / "t.tsv"
+        path.write_text("0 1 1.0\n1 2 2.0 0.5\n")
+        rows = np.concatenate(list(iter_temporal_edges_sorted(path)))
+        assert rows.tolist() == [
+            [0.0, 1.0, 1.0, 1.0],
+            [1.0, 2.0, 2.0, 0.5],
+        ]
+
+    def test_empty_log(self, tmp_path):
+        path = tmp_path / "t.tsv"
+        path.write_text("# nothing\n")
+        assert list(iter_temporal_edges_sorted(path)) == []
 
 
 class TestVertexScalars:

@@ -77,6 +77,56 @@ class TestExpiry:
         assert np.array_equal(stream.tree.scalars, ref.scalars)
 
 
+class TestDeterministicTies:
+    """Equal-timestamp edits expire in insertion order, every run."""
+
+    def test_equal_timestamp_scalars_revert_in_insertion_order(self):
+        # Two edits to *different* keys at the same timestamp: expiry
+        # processes them in the order pushed, so the final state after
+        # the shared deadline is the same on every run.
+        graph = from_edges([(0, 1), (1, 2), (2, 3)])
+        states = []
+        for _ in range(5):
+            s = StreamingScalarTree(
+                ScalarGraph(graph, [4.0, 3.0, 2.0, 1.0])
+            )
+            w = SlidingWindow(s, horizon=1.0)
+            w.push(0.0, [SetScalar(2, 9.0)])
+            w.push(0.0, [SetScalar(3, 8.0)])
+            w.advance(2.0)
+            states.append(tuple(s.scalars))
+        assert len(set(states)) == 1
+        assert states[0] == (4.0, 3.0, 2.0, 1.0)
+
+    def test_retouch_at_same_timestamp_survives_expiry(self, stream):
+        # The same key pushed twice at one timestamp: only the LAST
+        # push owns the key (per-edit sequence numbers break the tie),
+        # so the earlier entry must not revert the later edit when the
+        # deque drains, and the revert target is the pre-window
+        # baseline, not the superseded intermediate value.
+        w = SlidingWindow(stream, horizon=2.0)
+        w.push(0.0, [SetScalar(3, 5.0)])
+        w.push(0.0, [SetScalar(3, 6.0)])
+        assert stream.scalars[3] == 6.0
+        w.advance(1.0)
+        assert stream.scalars[3] == 6.0  # stale entry skipped, not applied
+        w.advance(3.0)
+        assert stream.scalars[3] == 1.0
+
+    def test_equal_timestamp_edges_expire_together_deterministically(
+        self, stream
+    ):
+        w = SlidingWindow(stream, horizon=1.0)
+        w.push(0.0, [AddEdge(0, 2)])
+        w.push(0.0, [AddEdge(0, 3)])
+        w.push(0.0, [AddEdge(1, 3)])
+        assert w.n_live == 3
+        w.advance(1.5)
+        assert w.n_live == 0
+        ref = build_vertex_tree(stream.snapshot())
+        assert np.array_equal(stream.tree.parent, ref.parent)
+
+
 class TestValidation:
     def test_horizon_positive(self, stream):
         with pytest.raises(ValueError):

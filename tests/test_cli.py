@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -355,3 +357,85 @@ class TestCacheDir:
             "--resolution", "24", "--width", "48", "--height", "36",
         ]) == 0
         assert list(cache_dir.glob("*.json"))  # persisted stage artifacts
+
+
+class TestEvolveCommand:
+    def test_synthetic_run_scores_ground_truth(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        code = main([
+            "evolve", "--synthetic",
+            "--windows", "6", "--community-size", "16",
+            "--p-in", "0.8", "--alpha", "3", "--min-size", "5",
+            "--resolution", "128", "-o", str(out),
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "event F1 vs planted ground truth" in text
+        report = json.loads(out.read_text())
+        assert report["event_f1"] >= 0.9
+        assert len(report["windows"]) == 6
+        assert "diff" in report["windows"][1]
+        kinds = {e["kind"] for e in report["events"]}
+        assert "birth" in kinds and "merge" in kinds
+
+    def test_log_mode_roundtrips_written_log(self, tmp_path, capsys):
+        log_path = tmp_path / "dyn.tsv"
+        code = main([
+            "evolve", "--synthetic", "--windows", "4",
+            "--write-log", str(log_path), "--resolution", "0",
+        ])
+        assert code == 0
+        assert log_path.exists()
+        code = main([
+            "evolve", "--log", str(log_path), "--origin", "0",
+            "--resolution", "0",
+        ])
+        assert code == 0
+        assert "tracked" in capsys.readouterr().out
+
+    def test_requires_exactly_one_source(self):
+        with pytest.raises(SystemExit):
+            main(["evolve"])
+        with pytest.raises(SystemExit):
+            main(["evolve", "--log", "x.tsv", "--synthetic"])
+
+    def test_missing_log_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["evolve", "--log", "/does/not/exist.tsv"])
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["evolve", "--synthetic", "--window", "0"])
+
+    def test_edge_measure_rejected_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["evolve", "--synthetic", "--measure", "ktruss"])
+        assert "vertex measures only" in capsys.readouterr().err
+
+    def test_malformed_log_is_a_clean_error(self, tmp_path):
+        bad = tmp_path / "bad.tsv"
+        bad.write_text("0 1 1.0\n0 nope 2.0\n")
+        with pytest.raises(SystemExit, match="bad temporal log"):
+            main(["evolve", "--log", str(bad), "--resolution", "0"])
+
+
+class TestServeEvolveFlags:
+    def test_bad_evolve_log_spec_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="--evolve-log"):
+            main(["serve", "--evolve-log", "demo=degree:notaspec"])
+
+    def test_bad_window_rejected(self, tmp_path):
+        log = tmp_path / "t.tsv"
+        log.write_text("0 1 0.5\n")
+        with pytest.raises(SystemExit, match="positive"):
+            main([
+                "serve",
+                "--evolve-log", f"demo=degree:zero:{log}",
+            ])
+
+    def test_missing_temporal_log_rejected(self):
+        with pytest.raises(SystemExit, match="not found"):
+            main([
+                "serve",
+                "--evolve-log", "demo=degree:1.0:/does/not/exist.tsv",
+            ])
