@@ -1,0 +1,169 @@
+"""Overload benchmark: a cold-tile burst far beyond the admission cap.
+
+A :class:`StageRunner` with a small ``max_inflight`` serves a burst of
+concurrent cold tile builds (made uniformly slow with an injected
+``task_delay`` fault so the overlap is deterministic).  Under that
+pressure the server must
+
+1. shed the overflow with **429 + Retry-After** instead of queueing it,
+2. keep shed responses fast (rejection is cheap — bounded p99),
+3. keep the **interactive reserve** open (``/hit`` still answers 200),
+4. come back healthy the moment the burst ends — never crash or hang.
+
+Functional assertions always run; ``REPRO_BENCH_TINY=1`` only shrinks
+the burst.
+"""
+
+import http.client
+import json
+import os
+import threading
+import time
+
+import numpy as np
+
+from repro.resil import faults
+from repro.serve import ServeApp, ServerThread, StageRunner
+
+from conftest import OUT_DIR  # noqa: F401  (kept for parity with peers)
+
+TINY = os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0")
+DATASET = "grqc"
+TILE_SIZE = 16 if TINY else 32
+LEVELS = 2
+MAX_INFLIGHT = 3  # one slot of which is the interactive reserve
+BURST_CLIENTS = 12 if TINY else 24
+TASK_DELAY = 0.3  # every pool job sleeps this long during the burst
+
+
+def get(port, url, headers=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=300)
+    try:
+        conn.request("GET", url, headers=headers or {})
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        conn.close()
+
+
+def test_serve_overload(report):
+    from repro.graph import datasets
+
+    datasets.load(DATASET)
+
+    runner = StageRunner(max_inflight=MAX_INFLIGHT)
+    app = ServeApp(
+        tile_size=TILE_SIZE,
+        levels=LEVELS,
+        runner=runner,
+        request_timeout=120.0,
+    )
+    app.add_dataset(DATASET, ["kcore", "degree"])
+    per_side = 2 ** (LEVELS - 1)
+    cold_urls = [
+        f"/t/{DATASET}/degree/0/{tx}/{ty}"
+        for tx in range(per_side)
+        for ty in range(per_side)
+    ]
+
+    with ServerThread(app) as server:
+        port = server.port
+
+        # Warm the interactive measure so /hit does not need a build,
+        # and the degree *levels* so the burst contends on tile slices
+        # alone — a shed request then never waits on a shared pyramid
+        # build before hearing 429.
+        status, _, _ = get(port, f"/t/{DATASET}/kcore/0/0/0")
+        assert status == 200
+        status, _, _ = get(port, cold_urls[0])
+        assert status == 200
+        cold_urls = cold_urls[1:]  # the still-cold tile keys
+
+        # -- overload burst: BURST_CLIENTS cold keys vs 3 slots --------
+        faults.configure(f"task_delay:*:{TASK_DELAY}")
+        barrier = threading.Barrier(BURST_CLIENTS + 1)
+        lock = threading.Lock()
+        outcomes = []  # (status, retry_after_or_None, seconds)
+        errors = []
+
+        def burst_client(k):
+            url = cold_urls[k % len(cold_urls)]
+            try:
+                barrier.wait(timeout=60)
+                t0 = time.perf_counter()
+                status, headers, _ = get(port, url)
+                dt = time.perf_counter() - t0
+                with lock:
+                    outcomes.append((status, headers.get("Retry-After"), dt))
+            except Exception as exc:
+                with lock:
+                    errors.append(exc)
+
+        threads = [
+            threading.Thread(target=burst_client, args=(k,))
+            for k in range(BURST_CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait(timeout=60)
+        time.sleep(0.05)  # let the bulk slots fill before probing /hit
+        t0 = time.perf_counter()
+        hit_status, _, hit_body = get(
+            port, f"/hit?dataset={DATASET}&measure=kcore&x=0.5&y=0.5"
+        )
+        t_hit = time.perf_counter() - t0
+        for thread in threads:
+            thread.join(timeout=300)
+        faults.configure(None)
+
+        assert not errors, f"burst clients crashed: {errors[:3]}"
+        assert len(outcomes) == BURST_CLIENTS
+        statuses = [s for s, _, _ in outcomes]
+        served = [dt for s, _, dt in outcomes if s == 200]
+        shed = [(ra, dt) for s, ra, dt in outcomes if s == 429]
+
+        # Overflow is shed, not queued — and every 429 says when to
+        # come back.
+        assert set(statuses) <= {200, 429}, f"unexpected statuses {statuses}"
+        assert shed, "no request was shed despite 4x overload"
+        assert served, "no request was served during overload"
+        assert all(ra is not None and int(ra) >= 1 for ra, _ in shed)
+
+        # Rejection is cheap: shed p99 is bounded well below one build.
+        shed_sorted = np.sort(np.array([dt for _, dt in shed]))
+        shed_p99 = float(shed_sorted[int(len(shed_sorted) * 0.99)])
+        assert shed_p99 < TASK_DELAY, (
+            f"shedding took {shed_p99:.3f}s p99 — overflow was queued"
+        )
+
+        # The interactive reserve stayed open under full bulk pressure.
+        assert hit_status == 200, f"/hit got {hit_status} under overload"
+        assert json.loads(hit_body)["measure"] == "kcore"
+
+        # -- recovery: the burst over, everything answers again --------
+        status, _, _ = get(port, "/healthz")
+        assert status == 200
+        t0 = time.perf_counter()
+        status, _, _ = get(port, cold_urls[0])
+        t_recover = time.perf_counter() - t0
+        assert status == 200
+
+        snap = runner.resil_snapshot()
+        assert runner.stats["shed"] >= len(shed)
+
+    served_sorted = np.sort(np.array(served))
+    served_p99 = float(served_sorted[int(len(served_sorted) * 0.99)])
+    report(
+        "serve_overload",
+        f"admission control on {DATASET} ({'tiny' if TINY else 'full'} "
+        f"mode): {BURST_CLIENTS} concurrent cold tile builds vs "
+        f"max_inflight={MAX_INFLIGHT} (1 reserved), every pool job "
+        f"slowed {TASK_DELAY * 1000:.0f} ms by fault injection:\n"
+        f"  served : {len(served):3d} x 200   p99 {served_p99:7.3f} s\n"
+        f"  shed   : {len(shed):3d} x 429   p99 {shed_p99 * 1000:7.1f} ms"
+        f"  (all with Retry-After)\n"
+        f"  /hit under pressure: 200 in {t_hit * 1000:.1f} ms "
+        f"(interactive reserve)\n"
+        f"  recovery after burst: cold tile 200 in {t_recover:.3f} s\n"
+        f"  runner gate: {json.dumps(snap['gate'])}",
+    )

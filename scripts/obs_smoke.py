@@ -64,6 +64,44 @@ def child_env():
     return env
 
 
+def wait_for_server(proc, boot_timeout=60):
+    """Read the listening banner, then poll ``/healthz`` with bounded
+    retries — failing fast with the child's output if the server dies
+    during boot instead of hanging until the timeout."""
+    line = proc.stdout.readline()
+    if not line:
+        proc.wait(timeout=10)
+        raise AssertionError(
+            f"server exited before its banner (rc={proc.returncode})"
+        )
+    print(f"[server] {line.rstrip()}")
+    match = re.search(r"http://[\d.]+:(\d+)", line)
+    assert match, f"no listening banner in: {line!r}"
+    port = int(match.group(1))
+    deadline = time.time() + boot_timeout
+    attempt = 0
+    last_error = "no probe ran"
+    while time.time() < deadline:
+        if proc.poll() is not None:
+            tail = (proc.stdout.read() or "").strip()
+            raise AssertionError(
+                f"server died during boot (rc={proc.returncode}): {tail}"
+            )
+        attempt += 1
+        try:
+            status, _, _ = get(port, "/healthz", timeout=5)
+            if status == 200:
+                return port
+            last_error = f"/healthz -> {status}"
+        except OSError as exc:
+            last_error = repr(exc)
+        time.sleep(min(0.05 * attempt, 1.0))
+    raise AssertionError(
+        f"server never became healthy: {attempt} probes over "
+        f"{boot_timeout}s (last: {last_error})"
+    )
+
+
 def check_trace(tmp: Path, edge_list: Path) -> None:
     from repro.obs import trace as obs_trace
 
@@ -127,21 +165,7 @@ def check_metrics(tmp: Path, edge_list: Path) -> None:
         text=True, env=child_env(),
     )
     try:
-        line = proc.stdout.readline()
-        print(f"[server] {line.rstrip()}")
-        match = re.search(r"http://[\d.]+:(\d+)", line)
-        assert match, f"no listening banner in: {line!r}"
-        port = int(match.group(1))
-        deadline = time.time() + 60
-        while True:
-            try:
-                status, _, _ = get(port, "/healthz", timeout=5)
-                if status == 200:
-                    break
-            except OSError:
-                pass
-            assert time.time() < deadline, "server never became healthy"
-            time.sleep(0.2)
+        port = wait_for_server(proc)
 
         # Generate some traffic: a tile build, a 404.
         status, headers, _ = get(port, "/t/toy/kcore/0/0/0")

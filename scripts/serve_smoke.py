@@ -40,6 +40,44 @@ def get(port, url, headers=None, timeout=120):
         conn.close()
 
 
+def wait_for_server(proc, boot_timeout=60):
+    """Read the listening banner, then poll ``/healthz`` with bounded
+    retries — failing fast with the child's output if the server dies
+    during boot instead of hanging until the timeout."""
+    line = proc.stdout.readline()
+    if not line:
+        proc.wait(timeout=10)
+        raise AssertionError(
+            f"server exited before its banner (rc={proc.returncode})"
+        )
+    print(f"[server] {line.rstrip()}")
+    match = re.search(r"http://[\d.]+:(\d+)", line)
+    assert match, f"no listening banner in: {line!r}"
+    port = int(match.group(1))
+    deadline = time.time() + boot_timeout
+    attempt = 0
+    last_error = "no probe ran"
+    while time.time() < deadline:
+        if proc.poll() is not None:
+            tail = (proc.stdout.read() or "").strip()
+            raise AssertionError(
+                f"server died during boot (rc={proc.returncode}): {tail}"
+            )
+        attempt += 1
+        try:
+            status, _, _ = get(port, "/healthz", timeout=5)
+            if status == 200:
+                return port
+            last_error = f"/healthz -> {status}"
+        except OSError as exc:
+            last_error = repr(exc)
+        time.sleep(min(0.05 * attempt, 1.0))
+    raise AssertionError(
+        f"server never became healthy: {attempt} probes over "
+        f"{boot_timeout}s (last: {last_error})"
+    )
+
+
 def main() -> int:
     from repro.graph import from_edges
     from repro.graph.io import write_edge_list
@@ -77,21 +115,7 @@ def main() -> int:
         env=env,
     )
     try:
-        line = proc.stdout.readline()
-        print(f"[server] {line.rstrip()}")
-        match = re.search(r"http://[\d.]+:(\d+)", line)
-        assert match, f"no listening banner in: {line!r}"
-        port = int(match.group(1))
-        deadline = time.time() + 60
-        while True:
-            try:
-                status, _, _ = get(port, "/healthz", timeout=5)
-                if status == 200:
-                    break
-            except OSError:
-                pass
-            assert time.time() < deadline, "server never became healthy"
-            time.sleep(0.2)
+        port = wait_for_server(proc)
 
         status, _, body = get(port, "/datasets")
         assert status == 200, status
@@ -153,7 +177,14 @@ def main() -> int:
         status, _, body = get(port, "/stats")
         stats = json.loads(body)
         assert stats["runner"]["builds"] >= 1
+        assert "resil" in stats, sorted(stats)
         print(f"[ok] /stats: {stats['runner']}")
+
+        # SIGTERM must drain: finish in-flight work and exit cleanly.
+        proc.terminate()
+        rc = proc.wait(timeout=30)
+        assert rc == 0, f"SIGTERM drain exited rc={rc}"
+        print("[ok] SIGTERM -> drained, clean exit")
 
         print("serve smoke: all endpoints healthy")
         return 0

@@ -352,6 +352,16 @@ def _self_test(lib: ctypes.CDLL) -> bool:
 
 
 def _load_impl() -> ctypes.CDLL:
+    # Fault site `compile_fail`: a scheduled compile abort exercises the
+    # soft-fallback path (warning + obs counter, vector-tier results).
+    from ..resil import faults as resil_faults
+
+    if resil_faults.active() and resil_faults.should_fire(
+        "compile_fail"
+    ) is not None:
+        raise _Unavailable(
+            "fault-injected", "scheduled compile failure (repro.resil)"
+        )
     cc = _compiler()
     if cc is None:
         raise _Unavailable(

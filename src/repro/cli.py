@@ -49,6 +49,7 @@ from . import accel
 from .core import global_correlation_index, outlier_score
 from .obs import metrics as obs_metrics
 from .obs import trace as obs_trace
+from .resil import faults as resil_faults
 from .engine import (
     ArtifactCache,
     DatasetSource,
@@ -162,6 +163,18 @@ def _add_common(
     )
     _add_accel(parser)
     _add_obs(parser)
+    _add_resil(parser)
+
+
+def _add_resil(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="deterministic fault injection for chaos testing: "
+             "'site:occurrences[:param]' rules joined by ';' (e.g. "
+             "'worker_kill:1;fragment_corrupt:1'); sites: "
+             + ", ".join(resil_faults.SITES)
+             + " (default: $REPRO_FAULTS if set, else off)",
+    )
 
 
 def _add_obs(parser: argparse.ArgumentParser) -> None:
@@ -264,7 +277,7 @@ def _cmd_dist_build(args) -> int:
         DistPlan,
         ShardedExecutor,
         choose_partitioner,
-        scatter_edge_list,
+        resilient_scatter,
         usable_cpus,
     )
     from .engine.cache import fingerprint_array
@@ -296,13 +309,14 @@ def _cmd_dist_build(args) -> int:
         else:
             method = args.partitioner
         n_shards = args.shards or max(2, workers)
-        scatter = scatter_edge_list(
+        # Resilient scatter: fragments are sha256-verified on reload,
+        # bad ones quarantined and the scatter re-run (bounded retries).
+        scatter, shards = resilient_scatter(
             args.edge_list, n_shards, args.scatter_dir,
             method=method,
             chunk_edges=args.chunk_edges,
             max_buffer_bytes=args.max_buffer_mb * (1 << 20),
         )
-        shards = scatter.load()
         print(
             f"scattered {scatter.stats['n_edges']} edges into "
             f"{n_shards} {method} shards (peak buffer "
@@ -620,7 +634,15 @@ def _cmd_serve(args) -> int:
         cache.max_memory_bytes = args.cache_memory_mb * (1 << 20)
     if args.cache_disk_mb is not None and args.cache_disk_mb < 0:
         raise SystemExit("--cache-disk-mb must be >= 0")
-    runner = StageRunner(workers=args.workers)
+    if args.max_inflight < 0:
+        raise SystemExit("--max-inflight must be >= 0")
+    if args.max_sse_sessions < 0:
+        raise SystemExit("--max-sse-sessions must be >= 0")
+    if args.request_timeout < 0:
+        raise SystemExit("--request-timeout must be >= 0")
+    if args.drain_grace < 0:
+        raise SystemExit("--drain-grace must be >= 0")
+    runner = StageRunner(workers=args.workers, max_inflight=args.max_inflight)
     app = ServeApp(
         cache=cache,
         runner=runner,
@@ -632,6 +654,7 @@ def _cmd_serve(args) -> int:
             None if args.cache_disk_mb is None
             else args.cache_disk_mb * (1 << 20)
         ),
+        request_timeout=args.request_timeout or None,
     )
 
     names = [n.strip() for n in args.datasets.split(",") if n.strip()]
@@ -704,7 +727,12 @@ def _cmd_serve(args) -> int:
         ))
 
     async def _run() -> None:
-        server = HTTPServer(app.router(), args.host, args.port)
+        import signal
+
+        server = HTTPServer(
+            app.router(), args.host, args.port,
+            max_sse_sessions=args.max_sse_sessions,
+        )
         await server.start()
         resolution = args.tile_size * 2 ** (args.levels - 1)
         print(
@@ -714,9 +742,29 @@ def _cmd_serve(args) -> int:
             f"({args.workers or 'thread'}-worker builds)",
             flush=True,
         )
+        loop = asyncio.get_running_loop()
+        sigterm = asyncio.Event()
         try:
-            await server.serve_forever()
+            loop.add_signal_handler(signal.SIGTERM, sigterm.set)
+        except (NotImplementedError, RuntimeError):
+            pass  # no signal support on this loop/platform
+        serving = asyncio.ensure_future(server.serve_forever())
+        stopping = asyncio.ensure_future(sigterm.wait())
+        try:
+            await asyncio.wait(
+                {serving, stopping}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if sigterm.is_set():
+                print(
+                    f"repro serve: SIGTERM — draining "
+                    f"(grace {args.drain_grace:g}s)",
+                    flush=True,
+                )
+                await server.drain(grace=args.drain_grace)
         finally:
+            for task in (serving, stopping):
+                task.cancel()
+            await asyncio.gather(serving, stopping, return_exceptions=True)
             await server.aclose()
 
     try:
@@ -984,6 +1032,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_accel(evolve)
     _add_obs(evolve)
+    _add_resil(evolve)
     evolve.set_defaults(func=_cmd_evolve)
 
     serve = sub.add_parser(
@@ -1066,8 +1115,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="prune the on-disk artifact cache to this budget after "
              "each cold build (default: unbounded)",
     )
+    serve.add_argument(
+        "--request-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="per-request build deadline; expired builds answer 504 "
+             "(0 disables; default: %(default)s)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=0, metavar="N",
+        help="admission control: cap concurrent cold builds at N and "
+             "answer 429 + Retry-After beyond it, with a slice "
+             "reserved for interactive hit/peak queries "
+             "(0 = unbounded; default: %(default)s)",
+    )
+    serve.add_argument(
+        "--max-sse-sessions", type=int, default=0, metavar="N",
+        help="cap concurrent SSE replay sessions at N; extra clients "
+             "get 429 + Retry-After (0 = unbounded; default: %(default)s)",
+    )
+    serve.add_argument(
+        "--drain-grace", type=float, default=10.0, metavar="SECONDS",
+        help="SIGTERM drain window: stop accepting, finish in-flight "
+             "requests, end SSE streams with a terminal 'shutdown' "
+             "event, then exit (default: %(default)s)",
+    )
     _add_accel(serve)
     _add_obs(serve)
+    _add_resil(serve)
     serve.set_defaults(func=_cmd_serve)
     return parser
 
@@ -1078,6 +1151,16 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "accel", None):
         accel.set_backend(args.accel)
+    if getattr(args, "faults", None):
+        import os
+
+        try:
+            resil_faults.configure(args.faults)
+        except ValueError as exc:
+            raise SystemExit(f"--faults: {exc}")
+        # Exported so pool workers inherit the same schedule (each
+        # process keeps its own pass counters).
+        os.environ[resil_faults.ENV_VAR] = args.faults
     exporter = None
     if getattr(args, "trace", None):
         exporter = obs_trace.JSONLExporter(args.trace)

@@ -27,7 +27,13 @@ the outputs are identical.
 """
 
 from .executor import ShardedExecutor, reduce_shard
-from .oocore import ScatterResult, load_shards, scatter_edge_list
+from .oocore import (
+    ScatterResult,
+    ShardIntegrityError,
+    load_shards,
+    resilient_scatter,
+    scatter_edge_list,
+)
 from .partition import (
     PARTITIONERS,
     Shard,
@@ -44,7 +50,9 @@ __all__ = [
     "cut_vertices",
     "partition_edges",
     "ScatterResult",
+    "ShardIntegrityError",
     "scatter_edge_list",
+    "resilient_scatter",
     "load_shards",
     "ShardedExecutor",
     "reduce_shard",

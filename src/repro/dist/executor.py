@@ -73,6 +73,30 @@ _M_REDUCE_SECONDS = obs_metrics.REGISTRY.histogram(
 _M_MERGE_SECONDS = obs_metrics.REGISTRY.histogram(
     "repro_dist_merge_seconds", "Global merge + splice time per build."
 )
+_M_POISONED = obs_metrics.REGISTRY.counter(
+    "repro_resil_poisoned_forests_total",
+    "Cached shard merge forests that failed validation and were "
+    "re-derived from the shard's edges.",
+)
+
+
+def _valid_forest(forest, n_vertices: int) -> bool:
+    """Cheap structural check of a cached merge forest: a ``(k, 2)``
+    int array, ``k <= n - 1``, endpoints in range.  A corrupted disk
+    envelope that still deserializes must be re-derived, not merged."""
+    if not isinstance(forest, np.ndarray):
+        return False
+    if forest.ndim != 2 or forest.shape[1] != 2:
+        return False
+    if forest.dtype.kind not in "iu":
+        return False
+    if len(forest) > max(0, n_vertices - 1):
+        return False
+    if len(forest) and (
+        int(forest.min()) < 0 or int(forest.max()) >= n_vertices
+    ):
+        return False
+    return True
 
 
 # ----------------------------------------------------------------------
@@ -163,7 +187,13 @@ class ShardedExecutor:
         and :meth:`shutdown` leaves the runner alive.
     """
 
-    def __init__(self, workers: int = 0, *, runner=None) -> None:
+    def __init__(
+        self,
+        workers: int = 0,
+        *,
+        runner=None,
+        deadline_s: Optional[float] = None,
+    ) -> None:
         from ..serve.workers import StageRunner
 
         if runner is not None:
@@ -172,6 +202,10 @@ class ShardedExecutor:
         else:
             self.runner = StageRunner(workers=workers)
             self._owns_runner = True
+        #: Per-fan-out wall-clock budget (None = unbounded).  The runner
+        #: charges retries and backoff against the same budget, so a
+        #: fault storm surfaces as DeadlineExceeded instead of a hang.
+        self.deadline_s = deadline_s
         self.stats: Dict[str, object] = {
             "builds": 0,
             "reduce_jobs": 0,
@@ -180,6 +214,7 @@ class ShardedExecutor:
             "spliced_parents": 0,
             "merge_seconds": 0.0,
             "field_merges": 0,
+            "poisoned_forests": 0,
         }
 
     @property
@@ -209,10 +244,19 @@ class ShardedExecutor:
                     scalars_fp,
                 )
                 hit = cache.get(keys[i])
-                if hit is not None:
-                    forests[i] = hit
-                    self.stats["reduce_cache_hits"] += 1
-                    _M_REDUCE_HITS.inc()
+                if hit is None:
+                    continue
+                if not _valid_forest(hit, n):
+                    # A poisoned reduction (corrupt disk envelope that
+                    # still parsed, wrong shape, out-of-range ids) is
+                    # re-derived from the shard's own edges; the fresh
+                    # put below overwrites the bad entry.
+                    self.stats["poisoned_forests"] += 1
+                    _M_POISONED.inc()
+                    continue
+                forests[i] = hit
+                self.stats["reduce_cache_hits"] += 1
+                _M_REDUCE_HITS.inc()
         miss_idx = [i for i, f in enumerate(forests) if f is None]
         if miss_idx:
             self.stats["reduce_jobs"] += len(miss_idx)
@@ -242,7 +286,9 @@ class ShardedExecutor:
         exporters of their own)."""
         if not obs_trace.ENABLED:
             return self.runner.map_sync(
-                reduce_shard, [(n, shards[i].edges, rank) for i in miss_idx]
+                reduce_shard,
+                [(n, shards[i].edges, rank) for i in miss_idx],
+                timeout=self.deadline_s,
             )
         if getattr(self.runner, "uses_processes", False):
             parent = obs_trace.current_span_id()
@@ -257,6 +303,7 @@ class ShardedExecutor:
                     )
                     for i in miss_idx
                 ],
+                timeout=self.deadline_s,
             )
             results = []
             for forest, records in pairs:
@@ -266,6 +313,7 @@ class ShardedExecutor:
         return self.runner.map_sync(
             _reduce_shard_traced,
             [(n, shards[i].edges, rank, i) for i in miss_idx],
+            timeout=self.deadline_s,
         )
 
     def build_tree(
@@ -362,7 +410,9 @@ class ShardedExecutor:
             return None
         n = shards[0].n_vertices
         parts = self.runner.map_sync(
-            job, [(n, shard.edges) for shard in shards]
+            job,
+            [(n, shard.edges) for shard in shards],
+            timeout=self.deadline_s,
         )
         self.stats["field_merges"] += 1
         total = np.zeros(n, dtype=np.float64)

@@ -40,12 +40,16 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..graph.io import DEFAULT_CHUNK_EDGES, iter_edge_chunks
+from ..obs import metrics as obs_metrics
+from ..resil import faults as resil_faults
+from ..resil.retry import note_giveup, note_retry
 from .partition import (
     PARTITIONERS,
     Shard,
@@ -55,12 +59,40 @@ from .partition import (
     degree_owners,
 )
 
-__all__ = ["ScatterResult", "scatter_edge_list", "load_shards"]
+__all__ = [
+    "ScatterResult",
+    "ShardIntegrityError",
+    "scatter_edge_list",
+    "load_shards",
+    "resilient_scatter",
+]
 
 PathLike = Union[str, Path]
 
 _MANIFEST_SUFFIX = ".manifest.json"
 _EDGES_SUFFIX = ".edges.i64"
+_QUARANTINE_SUFFIX = ".quarantined"
+
+_M_QUARANTINED = obs_metrics.REGISTRY.counter(
+    "repro_resil_quarantined_total",
+    "Shard fragments quarantined after a failed integrity check.",
+    ("reason",),
+)
+
+
+class ShardIntegrityError(ValueError):
+    """One or more shard fragments failed their manifest integrity check
+    (missing sidecar, wrong edge count, bad sha256).  The offending
+    sidecars are quarantined (renamed ``*.quarantined``) before this is
+    raised, so a re-scatter writes fresh fragments.
+
+    Subclasses ``ValueError`` so legacy ``except ValueError`` call
+    sites keep working.
+    """
+
+    def __init__(self, message: str, bad_shards=()) -> None:
+        super().__init__(message)
+        self.bad_shards = tuple(bad_shards)
 
 
 class ScatterResult:
@@ -280,15 +312,89 @@ def scatter_edge_list(
         "peak_buffered_bytes": int(peak_buffered),
         "buffer_limit_bytes": int(max_buffer_bytes),
     }
+
+    # Fault sites `fragment_corrupt` / `fragment_truncate`: damage one
+    # just-written sidecar (rule param selects the shard, default 0) so
+    # the next load fails its sha256/count check and quarantines it.
+    if resil_faults.active():
+        for site, mode in (
+            ("fragment_corrupt", "corrupt"),
+            ("fragment_truncate", "truncate"),
+        ):
+            rule = resil_faults.should_fire(site)
+            if rule is None:
+                continue
+            target = int(rule.param) % n_shards if rule.param else 0
+            resil_faults.corrupt_file(
+                out_dir / f"shard_{target:04d}{_EDGES_SUFFIX}", mode=mode
+            )
     return ScatterResult(out_dir, manifests, stats)
+
+
+def _quarantine(path: Path, reason: str) -> None:
+    """Move a bad sidecar out of the way so a re-scatter starts clean
+    and repeated loads cannot keep tripping over the same bytes."""
+    try:
+        os.replace(path, path.with_name(path.name + _QUARANTINE_SUFFIX))
+    except OSError:
+        pass  # e.g. the sidecar is missing entirely
+    _M_QUARANTINED.inc(reason=reason)
+
+
+def _check_shard(directory: Path, manifest_path: Path, doc: dict,
+                 shared: np.ndarray) -> Shard:
+    """Load + integrity-check one shard; ShardIntegrityError on damage."""
+    shard_id = doc.get("shard_id", "?")
+    stem = manifest_path.name[: -len(_MANIFEST_SUFFIX)]
+    sidecar = directory / f"{stem}{_EDGES_SUFFIX}"
+    try:
+        edges = np.fromfile(str(sidecar), dtype=np.int64).reshape(-1, 2)
+    except OSError as exc:
+        raise ShardIntegrityError(
+            f"shard {shard_id}: edge sidecar missing or unreadable "
+            f"({exc})", bad_shards=(shard_id,)
+        ) from None
+    except ValueError:
+        raise ShardIntegrityError(
+            f"shard {shard_id}: sidecar holds a partial number of "
+            f"edges (truncated write?)", bad_shards=(shard_id,)
+        ) from None
+    if len(edges) != doc["n_edges"]:
+        raise ShardIntegrityError(
+            f"shard {shard_id}: sidecar holds {len(edges)} "
+            f"edges, manifest says {doc['n_edges']}",
+            bad_shards=(shard_id,),
+        )
+    digest = hashlib.sha256(b"dist-shard")
+    digest.update(np.ascontiguousarray(edges).tobytes())
+    if digest.hexdigest() != doc["sha256"]:
+        raise ShardIntegrityError(
+            f"shard {shard_id}: edge sidecar does not match "
+            "its manifest fingerprint",
+            bad_shards=(shard_id,),
+        )
+    mask = np.zeros(doc["n_vertices"], dtype=bool)
+    mask[edges.ravel()] = True
+    return Shard(
+        shard_id=doc["shard_id"],
+        n_shards=doc["n_shards"],
+        n_vertices=doc["n_vertices"],
+        edges=edges,
+        boundary=shared[mask[shared]],
+        method=doc["method"],
+        dedup_safe=bool(doc.get("dedup_safe", True)),
+    )
 
 
 def load_shards(directory: PathLike) -> List[Shard]:
     """Load every scattered shard in ``directory`` back into memory.
 
     Each shard's edge sidecar is checked against the manifest's SHA-256
-    and edge count before use; a mismatch (truncated write, stale
-    sidecar next to a newer manifest) raises ``ValueError``.
+    and edge count before use; a mismatch (truncated write, flipped
+    bytes, a missing sidecar next to a live manifest) **quarantines**
+    the sidecar and raises :class:`ShardIntegrityError` naming every
+    damaged shard — callers re-scatter (see :func:`resilient_scatter`)
+    rather than build a wrong tree.
     """
     directory = Path(directory)
     manifest_paths = sorted(directory.glob(f"*{_MANIFEST_SUFFIX}"))
@@ -301,37 +407,56 @@ def load_shards(directory: PathLike) -> List[Shard]:
         else np.empty(0, dtype=np.int64)
     )
     shards: List[Shard] = []
+    problems: List[str] = []
+    bad: List[object] = []
     for manifest_path in manifest_paths:
-        doc = json.loads(manifest_path.read_text())
+        try:
+            doc = json.loads(manifest_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            _quarantine(manifest_path, "bad_manifest")
+            problems.append(f"{manifest_path.name}: unreadable ({exc})")
+            continue
         if doc.get("format") != "repro-dist-shard/1":
             raise ValueError(f"not a shard manifest: {manifest_path}")
         stem = manifest_path.name[: -len(_MANIFEST_SUFFIX)]
-        edges = np.fromfile(
-            str(directory / f"{stem}{_EDGES_SUFFIX}"), dtype=np.int64
-        ).reshape(-1, 2)
-        if len(edges) != doc["n_edges"]:
-            raise ValueError(
-                f"shard {doc['shard_id']}: sidecar holds {len(edges)} "
-                f"edges, manifest says {doc['n_edges']}"
+        try:
+            shards.append(
+                _check_shard(directory, manifest_path, doc, shared)
             )
-        digest = hashlib.sha256(b"dist-shard")
-        digest.update(np.ascontiguousarray(edges).tobytes())
-        if digest.hexdigest() != doc["sha256"]:
-            raise ValueError(
-                f"shard {doc['shard_id']}: edge sidecar does not match "
-                "its manifest fingerprint"
-            )
-        mask = np.zeros(doc["n_vertices"], dtype=bool)
-        mask[edges.ravel()] = True
-        shards.append(
-            Shard(
-                shard_id=doc["shard_id"],
-                n_shards=doc["n_shards"],
-                n_vertices=doc["n_vertices"],
-                edges=edges,
-                boundary=shared[mask[shared]],
-                method=doc["method"],
-                dedup_safe=bool(doc.get("dedup_safe", True)),
-            )
-        )
+        except ShardIntegrityError as exc:
+            _quarantine(directory / f"{stem}{_EDGES_SUFFIX}", "bad_fragment")
+            problems.append(str(exc))
+            bad.extend(exc.bad_shards)
+    if problems:
+        raise ShardIntegrityError("; ".join(problems), bad_shards=bad)
     return shards
+
+
+def resilient_scatter(
+    path: PathLike,
+    n_shards: int,
+    out_dir: PathLike,
+    max_attempts: int = 3,
+    **kwargs,
+) -> "Tuple[ScatterResult, List[Shard]]":
+    """Scatter + load with quarantine-and-re-scatter healing.
+
+    A :class:`ShardIntegrityError` from the verification load (bad
+    sha256, truncated or missing fragment — including injected
+    ``fragment_corrupt`` faults) triggers a full re-scatter: the damaged
+    sidecars are already quarantined, the fresh pass rewrites every
+    fragment, and fault-schedule occurrence counters have advanced, so
+    bounded fault schedules heal deterministically.  Returns the final
+    ``(ScatterResult, shards)``.
+    """
+    failures = 0
+    while True:
+        result = scatter_edge_list(path, n_shards, out_dir, **kwargs)
+        try:
+            return result, result.load()
+        except ShardIntegrityError:
+            failures += 1
+            if failures >= max_attempts:
+                note_giveup("dist.scatter")
+                raise
+            note_retry("dist.scatter")

@@ -43,6 +43,7 @@ from ..core.serialize import artifact_from_json, artifact_to_json
 from ..graph.csr import CSRGraph
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
+from ..resil import faults as resil_faults
 
 # Process-wide cache metric families (repro.obs): the per-instance
 # ``stats`` dict stays (tests and /stats read it per cache), but every
@@ -61,6 +62,10 @@ _M_EVICTIONS = obs_metrics.REGISTRY.counter(
 )
 _M_BYTES = obs_metrics.REGISTRY.gauge(
     "repro_cache_bytes", "Approximate cache footprint by tier.", ("tier",)
+)
+_M_CORRUPT = obs_metrics.REGISTRY.counter(
+    "repro_cache_corrupt_total",
+    "Corrupted/truncated disk-cache envelopes dropped and rebuilt.",
 )
 
 __all__ = [
@@ -174,6 +179,7 @@ class ArtifactCache:
             "disk_hits": 0,
             "puts": 0,
             "evictions": 0,
+            "corrupt": 0,
         }
 
     @classmethod
@@ -237,11 +243,18 @@ class ArtifactCache:
                 value = artifact_from_json(path.read_text())
             except FileNotFoundError:
                 pass
-            except ValueError:
-                # Truncated/corrupt entry (e.g. a writer killed
-                # mid-write by an older version): treat as a miss and
-                # drop it so it cannot poison future runs.
-                path.unlink(missing_ok=True)
+            except Exception:
+                # Any corrupted/truncated entry — invalid JSON, a bad
+                # envelope shape (KeyError/TypeError), undecodable bytes
+                # — is a miss, never an error: drop it so it cannot
+                # poison future runs, and let the stage rebuild.
+                with self._lock:
+                    self.stats["corrupt"] += 1
+                _M_CORRUPT.inc()
+                try:
+                    path.unlink(missing_ok=True)
+                except OSError:
+                    pass
             else:
                 with self._lock:
                     self._remember(key, value)
@@ -285,6 +298,13 @@ class ArtifactCache:
             )
             tmp.write_text(text)
             os.replace(tmp, self._path(key))
+            # Fault site `cache_corrupt`: truncate the envelope we just
+            # wrote, simulating a writer killed mid-write — the next get
+            # must treat it as a miss and rebuild.
+            if resil_faults.active() and resil_faults.should_fire(
+                "cache_corrupt"
+            ) is not None:
+                resil_faults.corrupt_file(self._path(key), mode="truncate")
         return value
 
     def clear(self, disk: bool = False) -> None:

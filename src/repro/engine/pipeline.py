@@ -70,8 +70,15 @@ from ..terrain import (
     treemap_svg,
 )
 from ..terrain.profile import profile_svg
+from ..resil import faults as resil_faults
+from ..resil.retry import RetryPolicy, retry_call
 from . import registry
 from .cache import ArtifactCache, fingerprint_array, fingerprint_graph, stage_key
+
+#: Transient-fault budget for one stage build: injected `stage_fail`
+#: faults (and any future TransientFault from a flaky source) are
+#: retried quickly; deterministic exceptions still propagate unretried.
+_STAGE_RETRY = RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.2)
 
 __all__ = [
     "Source",
@@ -335,8 +342,17 @@ class Pipeline(_TreeSinks):
         with obs_trace.span(f"stage.{name}", measure=self.measure) as sp:
             value = self.cache.get(key)
             if value is None:
+                def guarded():
+                    # Fault site `stage_fail`: a scheduled transient
+                    # failure before the build runs; healed by the
+                    # bounded retry below (occurrence counters advance).
+                    resil_faults.maybe_fail("stage_fail", f"stage.{name}")
+                    return build()
+
                 with STAGE_BUILD_SECONDS.time(stage=name):
-                    value = build()
+                    value = retry_call(
+                        guarded, policy=_STAGE_RETRY, site=f"stage.{name}"
+                    )
                 sp.set(built=True)
                 value = self.cache.put(key, value, disk=disk)
         return value

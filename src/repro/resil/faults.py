@@ -1,0 +1,298 @@
+"""Deterministic fault-injection harness, driven by ``REPRO_FAULTS``.
+
+A schedule is a ``;``-joined list of rules, one per *site*::
+
+    REPRO_FAULTS="worker_kill:1;task_delay:2,3:0.05;fragment_corrupt:1"
+
+Each rule is ``site:occurrences[:param]``:
+
+- ``site`` — a named injection point (see :data:`SITES`);
+- ``occurrences`` — which 1-based passes through the site fire: a
+  single number (``3``), a comma list (``1,4``), an inclusive range
+  (``2-5``), or ``*`` (every pass);
+- ``param`` — optional float, site-specific (seconds for ``task_delay``).
+
+Sites wired through the codebase:
+
+======================  ================================================
+``worker_kill``         StageRunner (process mode) sacrifices a pool
+                        worker via ``os._exit`` before a submit
+``task_fail``           a pool job raises :class:`InjectedFault`
+``task_delay``          a pool job sleeps ``param`` seconds first
+``stage_fail``          a pipeline stage build raises before running
+``fragment_corrupt``    ``scatter_edge_list`` flips a byte in a shard
+                        fragment after writing it
+``fragment_truncate``   ...or truncates the fragment instead
+``cache_corrupt``       ArtifactCache truncates a disk envelope it just
+                        wrote
+``compile_fail``        the native-kernel compile aborts (soft fallback)
+======================  ================================================
+
+Determinism: each site keeps an occurrence counter, so the same
+schedule against the same workload fires at exactly the same points.
+Counters are process-local — worker processes parse ``REPRO_FAULTS``
+themselves and count their own passes — which is why worker kills are
+scheduled *parent-side* (the parent decides when and submits a
+sacrificial job) rather than letting every fresh worker kill itself.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+from ..obs import metrics as obs_metrics
+from .retry import InjectedFault
+
+__all__ = [
+    "SITES",
+    "FaultRule",
+    "FaultSchedule",
+    "configure",
+    "schedule",
+    "active",
+    "should_fire",
+    "maybe_fail",
+    "maybe_delay",
+    "wrap_job",
+    "corrupt_file",
+    "snapshot",
+]
+
+ENV_VAR = "REPRO_FAULTS"
+
+SITES = (
+    "worker_kill",
+    "task_fail",
+    "task_delay",
+    "stage_fail",
+    "fragment_corrupt",
+    "fragment_truncate",
+    "cache_corrupt",
+    "compile_fail",
+)
+
+_M_INJECTED = obs_metrics.REGISTRY.counter(
+    "repro_resil_faults_injected_total",
+    "Scheduled faults fired, by injection site",
+    ("site",),
+)
+
+
+class FaultRule:
+    """One parsed ``site:occurrences[:param]`` rule."""
+
+    __slots__ = ("site", "all", "low", "high", "chosen", "param")
+
+    def __init__(self, site: str, occurrences: str, param: Optional[float]):
+        if site not in SITES:
+            raise ValueError(
+                f"unknown fault site {site!r} (known: {', '.join(SITES)})"
+            )
+        self.site = site
+        self.param = param
+        self.all = occurrences == "*"
+        self.low = self.high = 0
+        self.chosen: Tuple[int, ...] = ()
+        if not self.all:
+            if "-" in occurrences:
+                lo, _, hi = occurrences.partition("-")
+                self.low, self.high = int(lo), int(hi)
+            else:
+                self.chosen = tuple(
+                    int(part) for part in occurrences.split(",") if part
+                )
+            if (self.low, self.high) == (0, 0) and not self.chosen:
+                raise ValueError(
+                    f"rule for {site!r} has no occurrences"
+                )
+
+    def fires_at(self, n: int) -> bool:
+        if self.all:
+            return True
+        if self.chosen:
+            return n in self.chosen
+        return self.low <= n <= self.high
+
+    @property
+    def bounded(self) -> bool:
+        """Whether the rule stops firing eventually (retries can heal)."""
+        return not self.all
+
+
+class FaultSchedule:
+    """A set of rules plus per-site occurrence counters."""
+
+    def __init__(self, rules: Dict[str, FaultRule], spec: str = "") -> None:
+        self.rules = rules
+        self.spec = spec
+        self._counts: Dict[str, int] = {}
+        self._fired: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultSchedule":
+        rules: Dict[str, FaultRule] = {}
+        for chunk in spec.split(";"):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            parts = chunk.split(":")
+            if len(parts) not in (2, 3):
+                raise ValueError(
+                    f"bad fault rule {chunk!r} "
+                    "(want site:occurrences[:param])"
+                )
+            site, occurrences = parts[0].strip(), parts[1].strip()
+            param = float(parts[2]) if len(parts) == 3 else None
+            if site in rules:
+                raise ValueError(f"duplicate fault rule for site {site!r}")
+            rules[site] = FaultRule(site, occurrences, param)
+        return cls(rules, spec=spec)
+
+    def should_fire(self, site: str) -> Optional[FaultRule]:
+        """Count one pass through ``site``; the rule if this pass fires."""
+        rule = self.rules.get(site)
+        if rule is None:
+            return None
+        with self._lock:
+            self._counts[site] = n = self._counts.get(site, 0) + 1
+            if not rule.fires_at(n):
+                return None
+            self._fired[site] = self._fired.get(site, 0) + 1
+        _M_INJECTED.inc(site=site)
+        return rule
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "spec": self.spec,
+                "passes": dict(self._counts),
+                "fired": dict(self._fired),
+            }
+
+
+# ----------------------------------------------------------------------
+# Process-global schedule (lazily parsed from $REPRO_FAULTS)
+# ----------------------------------------------------------------------
+_ACTIVE: Optional[FaultSchedule] = None
+_LOADED = False
+_GLOBAL_LOCK = threading.Lock()
+
+
+def configure(spec: Optional[str]) -> Optional[FaultSchedule]:
+    """Install a schedule (or ``None`` to disable injection).
+
+    Does not touch ``$REPRO_FAULTS`` — the CLI exports that itself so
+    pool worker processes inherit the same schedule.
+    """
+    global _ACTIVE, _LOADED
+    with _GLOBAL_LOCK:
+        _ACTIVE = FaultSchedule.parse(spec) if spec else None
+        _LOADED = True
+        return _ACTIVE
+
+
+def schedule() -> Optional[FaultSchedule]:
+    global _ACTIVE, _LOADED
+    if not _LOADED:
+        with _GLOBAL_LOCK:
+            if not _LOADED:
+                spec = os.environ.get(ENV_VAR, "").strip()
+                _ACTIVE = FaultSchedule.parse(spec) if spec else None
+                _LOADED = True
+    return _ACTIVE
+
+
+def active() -> bool:
+    return schedule() is not None
+
+
+def should_fire(site: str) -> Optional[FaultRule]:
+    sched = schedule()
+    return sched.should_fire(site) if sched is not None else None
+
+
+def maybe_fail(site: str, detail: str = "") -> None:
+    """Raise :class:`InjectedFault` if ``site`` is scheduled to fire now."""
+    if should_fire(site) is not None:
+        raise InjectedFault(site, detail)
+
+
+def maybe_delay(site: str = "task_delay") -> float:
+    """Sleep the rule's param if ``site`` fires; seconds actually slept."""
+    rule = should_fire(site)
+    if rule is None:
+        return 0.0
+    pause = rule.param if rule.param is not None else 0.05
+    time.sleep(pause)
+    return pause
+
+
+def snapshot() -> Optional[dict]:
+    sched = _ACTIVE if _LOADED else schedule()
+    return sched.snapshot() if sched is not None else None
+
+
+# ----------------------------------------------------------------------
+# Pool-job wrapping (task_fail / task_delay) and worker sacrifice
+# ----------------------------------------------------------------------
+def wrap_job(fn, args: tuple) -> Tuple[object, tuple]:
+    """Possibly wrap a pool job so a scheduled task fault fires inside it.
+
+    The decision (does this submission fire?) is taken on the *parent*
+    side so occurrence counting is deterministic regardless of which
+    worker runs the job; the wrapper itself is a picklable module-level
+    function, so this works in both thread and process mode.
+    """
+    sched = schedule()
+    if sched is None:
+        return fn, args
+    fail = sched.should_fire("task_fail") is not None
+    delay_rule = sched.should_fire("task_delay")
+    if not fail and delay_rule is None:
+        return fn, args
+    pause = 0.0
+    if delay_rule is not None:
+        pause = delay_rule.param if delay_rule.param is not None else 0.05
+    return _faulted_job, (fn, args, fail, pause)
+
+
+def _faulted_job(fn, args: tuple, fail: bool, pause: float):
+    if pause > 0.0:
+        time.sleep(pause)
+    if fail:
+        raise InjectedFault("task_fail", "scheduled pool-task failure")
+    return fn(*args)
+
+
+def _worker_suicide() -> None:  # pragma: no cover - dies by design
+    """Sacrificial pool job: kills its worker process without cleanup,
+    breaking the ProcessPoolExecutor exactly once (the parent's
+    ``worker_kill`` counter decides when this gets submitted)."""
+    os._exit(86)
+
+
+# ----------------------------------------------------------------------
+# File corruption (shard fragments, cache envelopes)
+# ----------------------------------------------------------------------
+def corrupt_file(path: os.PathLike, mode: str = "corrupt") -> bool:
+    """Flip the last byte (``corrupt``) or drop the back half
+    (``truncate``) of ``path``; False when the file is missing/empty."""
+    try:
+        size = os.path.getsize(path)
+    except OSError:
+        return False
+    if size <= 0:
+        return False
+    with open(path, "r+b") as handle:
+        if mode == "truncate":
+            handle.truncate(max(1, size // 2))
+        else:
+            handle.seek(size - 1)
+            byte = handle.read(1)
+            handle.seek(size - 1)
+            handle.write(bytes((byte[0] ^ 0xFF,)))
+    return True

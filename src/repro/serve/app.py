@@ -45,6 +45,8 @@ from ..engine import ArtifactCache, registry
 from ..engine.pipeline import Pipeline
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
+from ..resil import faults as resil_faults
+from ..resil.retry import CircuitOpen, DeadlineExceeded, Saturated
 from . import workers
 from .evolve import EvolveRun, EvolveSession, evolve_sse_events
 from .http import EventStreamResponse, HTTPError, Request, Response, Router
@@ -73,6 +75,17 @@ _M_DIFF_TILES = obs_metrics.REGISTRY.counter(
     "repro_evolve_diff_tiles_served_total",
     "Terrain-diff tiles served by evolve runs.",
 )
+_M_STALE = obs_metrics.REGISTRY.counter(
+    "repro_resil_stale_tiles_total",
+    "Stale tiles served (with a Warning header) after a rebuild "
+    "failed or timed out.",
+)
+
+#: Last-known-good tile payloads kept for graceful degradation.  Bounded
+#: by entry count, separate from the LRU payload memo: the memo is a
+#: performance cache (evicted under memory pressure), this is a safety
+#: net consulted only when a rebuild fails.
+_MAX_STALE_TILES = 512
 
 
 class _DatasetEntry:
@@ -100,6 +113,7 @@ class ServeApp:
         scheme: str = "quantile",
         dist=None,
         max_disk_bytes: Optional[int] = None,
+        request_timeout: Optional[float] = None,
     ) -> None:
         self.cache = cache if cache is not None else ArtifactCache()
         self.runner = runner if runner is not None else StageRunner()
@@ -133,6 +147,14 @@ class ServeApp:
         # through the coalesced funnel.
         self._payloads: "OrderedDict[str, Tuple[bytes, str]]" = OrderedDict()
         self._payload_bytes = 0
+        #: Per-request build deadline (seconds); None = unbounded.  The
+        #: deadline rides on the coalesced build, so every rider of a
+        #: too-slow build gets the same DeadlineExceeded (→ 504, or a
+        #: stale tile when one exists) instead of queueing forever.
+        self.request_timeout = request_timeout
+        # Last-known-good tiles for serve-stale-on-error (Warning: 110).
+        self._stale: "OrderedDict[str, Tuple[bytes, str]]" = OrderedDict()
+        self._stale_served = 0
         # Monotonic clock: uptime must never jump when the wall clock is
         # stepped (NTP corrections would yield negative or inflated
         # uptimes under time.time()).
@@ -364,7 +386,7 @@ class ServeApp:
 
     # -- coalesced build funnel ----------------------------------------
     async def _ensure(
-        self, entry: _DatasetEntry, measure: str
+        self, entry: _DatasetEntry, measure: str, interactive: bool = False
     ) -> Dict[str, object]:
         """Cold-start funnel: every endpoint for (dataset, measure)
         first awaits this one coalesced full build, so concurrent cold
@@ -377,16 +399,23 @@ class ServeApp:
         run_key = f"levels:{entry.name}:{measure}"
         if self.runner.uses_processes:
             ready = await self.runner.run(
-                run_key, workers.ensure_levels, self.spec(entry, measure)
+                run_key, workers.ensure_levels, self.spec(entry, measure),
+                interactive=interactive, timeout=self.request_timeout,
             )
         else:
             ready = await self.runner.run(
-                run_key, self.pyramid(entry, measure).ensure_levels
+                run_key, self.pyramid(entry, measure).ensure_levels,
+                interactive=interactive, timeout=self.request_timeout,
             )
         self._ready[key] = ready
         if self.max_disk_bytes is not None:
             self.cache.prune(self.max_disk_bytes)
         return ready
+
+    #: Job kinds answered to a pointing human (small, latency-bound
+    #: reads) get the admission gate's reserved slots; cold tile/SVG
+    #: builds are bulk and shed first under overload.
+    _INTERACTIVE_KINDS = frozenset({"hit", "peaks"})
 
     async def _job(self, entry, measure, kind, local_fn, worker_fn, *args):
         """Run one read-ish job after the cold funnel.
@@ -396,16 +425,19 @@ class ServeApp:
         module-level function) runs on the process pool in process
         mode.  Coalesced per (kind, dataset, measure, args).
         """
-        await self._ensure(entry, measure)
+        interactive = kind in self._INTERACTIVE_KINDS
+        await self._ensure(entry, measure, interactive=interactive)
         run_key = f"{kind}:{entry.name}:{measure}:" + ":".join(
             str(a) for a in args
         )
         if self.runner.uses_processes:
             return await self.runner.run(
-                run_key, worker_fn, self.spec(entry, measure), *args
+                run_key, worker_fn, self.spec(entry, measure), *args,
+                interactive=interactive, timeout=self.request_timeout,
             )
         return await self.runner.run(
-            run_key, local_fn, self.pyramid(entry, measure), *args
+            run_key, local_fn, self.pyramid(entry, measure), *args,
+            interactive=interactive, timeout=self.request_timeout,
         )
 
     # -- handlers -------------------------------------------------------
@@ -465,6 +497,18 @@ class ServeApp:
                 "backend": accel.get_backend(),
                 "native": accel_native.info(),
             },
+            # Resilience posture: retry policy, admission gate, breaker
+            # table, stale fallbacks, and (when --faults is active) the
+            # injection schedule with per-site pass/fire counts.
+            "resil": dict(
+                self.runner.resil_snapshot(),
+                stale_tiles={
+                    "held": len(self._stale),
+                    "served": self._stale_served,
+                },
+                request_timeout=self.request_timeout,
+                faults=resil_faults.snapshot(),
+            ),
         }
         if self.evolve_sessions:
             # Materialized runs only — a stats scrape never triggers a
@@ -586,21 +630,49 @@ class ServeApp:
                 f"{self.levels} levels of {self.tile_size}px tiles",
             )
         memo_key = f"tile:{ds}:{measure}:{level_i}:{tx_i}:{ty_i}"
+        stale_marker = None
         cached = self._payload_get(memo_key)
         if cached is None:
-            cached = await self._job(
-                entry, measure, "tile",
-                LODPyramid.tile_payload,
-                workers.build_tile_payload,
-                level_i, tx_i, ty_i,
-            )
-            self._payload_put(memo_key, cached)
+            try:
+                cached = await self._job(
+                    entry, measure, "tile",
+                    LODPyramid.tile_payload,
+                    workers.build_tile_payload,
+                    level_i, tx_i, ty_i,
+                )
+            except HTTPError:
+                raise
+            except Exception as exc:
+                # Covers Saturated, CircuitOpen, DeadlineExceeded and
+                # genuine build failures alike (CancelledError is a
+                # BaseException and still propagates).
+                # Graceful degradation: a failed or timed-out rebuild
+                # serves the last known good payload with a Warning
+                # header instead of an error — stale terrain beats a
+                # hole in the map.  No stale copy → the error stands.
+                stale = self._stale.get(memo_key)
+                if stale is None:
+                    raise
+                cached = stale
+                stale_marker = exc
+                self._stale_served += 1
+                _M_STALE.inc()
+            else:
+                self._payload_put(memo_key, cached)
+        self._stale[memo_key] = cached
+        self._stale.move_to_end(memo_key)
+        while len(self._stale) > _MAX_STALE_TILES:
+            self._stale.popitem(last=False)
         payload, etag = cached
         _M_TILES.inc(level=str(level_i))
         headers = [
             ("ETag", etag),
             ("Cache-Control", _TILE_CACHE_CONTROL),
         ]
+        if stale_marker is not None:
+            headers.append(
+                ("Warning", '110 repro "Response is Stale"')
+            )
         if etag in request.if_none_match() or "*" in request.if_none_match():
             return Response(304, b"", headers=headers)
         return Response(

@@ -46,6 +46,7 @@ from urllib.parse import parse_qsl, unquote
 
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
+from ..resil.retry import CircuitOpen, DeadlineExceeded, Saturated
 
 __all__ = [
     "HTTPError",
@@ -63,8 +64,12 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 _MAX_HEADERS = 100
 _MAX_BODY = 1 << 20
@@ -108,12 +113,28 @@ def _log_request_error(request_id: str, request: "Request", exc: BaseException) 
 
 
 class HTTPError(Exception):
-    """Handler-raised error rendered as a JSON response."""
+    """Handler-raised error rendered as a JSON response.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``headers`` ride on the error response (e.g. ``Retry-After`` on a
+    429/503, ``Warning`` on a stale fallback); ``retry_after`` is sugar
+    for the common load-shedding case.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        headers: Optional[List[Tuple[str, str]]] = None,
+        retry_after: Optional[float] = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.headers = list(headers or [])
+        if retry_after is not None:
+            self.headers.append(
+                ("Retry-After", str(max(1, int(round(retry_after)))))
+            )
 
 
 class Request:
@@ -318,21 +339,48 @@ def _sse_chunk(event: str, data: str) -> bytes:
     return (frame + "\n").encode()
 
 
+async def _aclose_quietly(events) -> None:
+    """Close an async generator of SSE events, swallowing the teardown
+    noise (the generator sees GeneratorExit at its current yield and
+    stops building frames)."""
+    aclose = getattr(events, "aclose", None)
+    if aclose is None:
+        return
+    try:
+        await aclose()
+    except Exception:
+        pass
+
+
 class HTTPServer:
     """The asyncio connection loop around a :class:`Router`."""
 
     def __init__(
-        self, router: Router, host: str = "127.0.0.1", port: int = 0
+        self,
+        router: Router,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_sse_sessions: int = 0,
     ) -> None:
         self.router = router
         self.host = host
         self.port = port
+        #: ``> 0`` caps concurrently streaming SSE sessions; the
+        #: overflow gets 429 + Retry-After instead of an unbounded pile
+        #: of replay threads.
+        self.max_sse_sessions = max_sse_sessions
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: set = set()
+        self._sse_active = 0
+        self._active_requests = 0
+        # Created in start() — asyncio.Event needs the running loop on
+        # older interpreters.
+        self._closing: Optional[asyncio.Event] = None
 
     async def start(self) -> int:
         """Bind and start accepting; returns the actual port (useful
         when constructed with the ephemeral port 0)."""
+        self._closing = asyncio.Event()
         self._server = await asyncio.start_server(
             self._handle, self.host, self.port
         )
@@ -343,6 +391,29 @@ class HTTPServer:
         assert self._server is not None, "call start() first"
         await self._server.serve_forever()
 
+    async def drain(self, grace: float = 10.0) -> None:
+        """Graceful shutdown (SIGTERM): stop accepting, let in-flight
+        requests finish, end every SSE stream with a terminal
+        ``shutdown`` event, then hang up — all within ``grace`` seconds
+        (stragglers are force-closed after that)."""
+        if self._server is not None:
+            self._server.close()
+            try:
+                await asyncio.wait_for(self._server.wait_closed(), timeout=5)
+            except asyncio.TimeoutError:
+                pass
+            self._server = None
+        if self._closing is not None:
+            self._closing.set()  # SSE loops notice and say goodbye
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + grace
+        while (
+            (self._active_requests or self._sse_active)
+            and loop.time() < deadline
+        ):
+            await asyncio.sleep(0.02)
+        await self.aclose()
+
     async def aclose(self) -> None:
         if self._server is not None:
             self._server.close()
@@ -351,6 +422,8 @@ class HTTPServer:
             except asyncio.TimeoutError:
                 pass
             self._server = None
+        if self._closing is not None:
+            self._closing.set()
         # Hang up idle keep-alive peers so their handler tasks finish
         # before the loop goes away.
         for writer in list(self._connections):
@@ -382,6 +455,46 @@ class HTTPServer:
                     if isinstance(response, EventStreamResponse)
                     else response.status
                 )
+            except Saturated as exc:
+                # Admission control shed the request: tell the client
+                # when to come back rather than queueing unboundedly.
+                status = 429
+                response = Response.json_(
+                    {
+                        "error": str(exc),
+                        "status": 429,
+                        "request_id": request_id,
+                    },
+                    status=429,
+                    headers=[(
+                        "Retry-After",
+                        str(max(1, int(round(exc.retry_after)))),
+                    )],
+                )
+            except CircuitOpen as exc:
+                status = 503
+                response = Response.json_(
+                    {
+                        "error": str(exc),
+                        "status": 503,
+                        "request_id": request_id,
+                    },
+                    status=503,
+                    headers=[(
+                        "Retry-After",
+                        str(max(1, int(round(exc.retry_after)))),
+                    )],
+                )
+            except DeadlineExceeded as exc:
+                status = 504
+                response = Response.json_(
+                    {
+                        "error": str(exc),
+                        "status": 504,
+                        "request_id": request_id,
+                    },
+                    status=504,
+                )
             except HTTPError as exc:
                 status = exc.status
                 response = Response.json_(
@@ -391,6 +504,7 @@ class HTTPServer:
                         "request_id": request_id,
                     },
                     status=exc.status,
+                    headers=exc.headers,
                 )
             except Exception as exc:
                 status = 500
@@ -409,6 +523,48 @@ class HTTPServer:
         if isinstance(response, Response):
             response.headers.append(("X-Request-Id", request_id))
         return response
+
+    async def _stream_events(self, events, writer) -> None:
+        """Pump an SSE generator to the peer until it finishes, the peer
+        hangs up, or the server starts draining — in which case the
+        stream ends with a terminal ``shutdown`` event so well-behaved
+        clients know not to reconnect immediately."""
+        iterator = events.__aiter__()
+        while True:
+            if self._closing is not None and self._closing.is_set():
+                writer.write(_sse_chunk(
+                    "shutdown", json.dumps({"reason": "server draining"})
+                ))
+                await writer.drain()
+                return
+            next_task = asyncio.ensure_future(iterator.__anext__())
+            if self._closing is None:
+                done = {next_task}
+            else:
+                closing_task = asyncio.ensure_future(self._closing.wait())
+                done, pending = await asyncio.wait(
+                    {next_task, closing_task},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                for task in pending:
+                    task.cancel()
+                if next_task not in done:
+                    # Drain won the race: terminal event, then hang up.
+                    writer.write(_sse_chunk(
+                        "shutdown",
+                        json.dumps({"reason": "server draining"}),
+                    ))
+                    await writer.drain()
+                    return
+            try:
+                event, data = await next_task
+            except StopAsyncIteration:
+                return
+            writer.write(_sse_chunk(event, data))
+            await writer.drain()
+            if writer.is_closing():
+                # Peer hung up mid-replay; stop building frames.
+                return
 
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -439,8 +595,38 @@ class HTTPServer:
                     break
                 if request is None:
                     break
-                response = await self._respond(request, request_id)
+                self._active_requests += 1
+                try:
+                    response = await self._respond(request, request_id)
+                finally:
+                    self._active_requests -= 1
                 if isinstance(response, EventStreamResponse):
+                    if (
+                        self.max_sse_sessions > 0
+                        and self._sse_active >= self.max_sse_sessions
+                    ):
+                        # Session cap: shed before streaming starts, and
+                        # shut the handler's generator down so it never
+                        # builds a frame.
+                        await _aclose_quietly(response.events)
+                        writer.write(
+                            Response.json_(
+                                {
+                                    "error": "SSE session limit reached",
+                                    "status": 429,
+                                    "request_id": request_id,
+                                },
+                                status=429,
+                                headers=[
+                                    ("Retry-After", "1"),
+                                    ("Connection", "close"),
+                                    ("X-Request-Id", request_id),
+                                ],
+                            ).render()
+                        )
+                        await writer.drain()
+                        _M_RESPONSES.inc(status="429")
+                        break
                     writer.write(
                         b"HTTP/1.1 200 OK\r\n"
                         b"Content-Type: text/event-stream\r\n"
@@ -450,13 +636,20 @@ class HTTPServer:
                     )
                     await writer.drain()
                     if request.method != "HEAD":
+                        self._sse_active += 1
                         _M_SSE_SESSIONS.inc()
                         try:
-                            async for event, data in response.events:
-                                writer.write(_sse_chunk(event, data))
-                                await writer.drain()
+                            await self._stream_events(
+                                response.events, writer
+                            )
                         finally:
+                            # Always runs — client disconnects included:
+                            # the slot is released, the gauge drops, and
+                            # closing the generator stops frame builds
+                            # for the dead session.
+                            self._sse_active -= 1
                             _M_SSE_SESSIONS.dec()
+                            await _aclose_quietly(response.events)
                     break
                 writer.write(response.render(head_only=request.method == "HEAD"))
                 await writer.drain()

@@ -30,12 +30,18 @@ from typing import AsyncIterator, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..engine.pipeline import StreamingPipeline
+from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..stream import read_edit_log
 from ..terrain.heightfield import Heightfield
 from .workers import source_from_spec
 
 __all__ = ["StreamSession", "sse_events", "dirty_tiles"]
+
+_M_REPLAY_ABORTS = obs_metrics.REGISTRY.counter(
+    "repro_resil_sse_aborts_total",
+    "SSE replays ended early by a client disconnect or server drain.",
+)
 
 
 class StreamSession:
@@ -169,15 +175,21 @@ async def sse_events(
     executor = runner.thread_executor
     replay = await loop.run_in_executor(executor, _Replay, session, cache)
     hello = dict(session.describe(), batches=len(replay.batches))
-    yield "hello", json.dumps(hello)
-    for index in range(len(replay.batches)):
-        frame = await loop.run_in_executor(executor, replay.step, index)
-        dirty = frame.pop("dirty")
-        if dirty:
-            yield "invalidate", json.dumps(
-                {"batch": frame["batch"], "tiles": dirty}
-            )
-        yield "frame", json.dumps(frame)
-        if session.interval > 0:
-            await asyncio.sleep(session.interval)
-    yield "done", json.dumps({"batches": len(replay.batches)})
+    try:
+        yield "hello", json.dumps(hello)
+        for index in range(len(replay.batches)):
+            frame = await loop.run_in_executor(executor, replay.step, index)
+            dirty = frame.pop("dirty")
+            if dirty:
+                yield "invalidate", json.dumps(
+                    {"batch": frame["batch"], "tiles": dirty}
+                )
+            yield "frame", json.dumps(frame)
+            if session.interval > 0:
+                await asyncio.sleep(session.interval)
+        yield "done", json.dumps({"batches": len(replay.batches)})
+    except GeneratorExit:
+        # The client went away (or the server is draining): the generator
+        # is closed at its current yield, so no further frames are built.
+        _M_REPLAY_ABORTS.inc()
+        raise

@@ -24,12 +24,18 @@ class ServerThread:
     """Context manager: the app's HTTP server, live on its own thread."""
 
     def __init__(
-        self, app: ServeApp, host: str = "127.0.0.1", port: int = 0
+        self,
+        app: ServeApp,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_sse_sessions: int = 0,
     ) -> None:
         self.app = app
         self.host = host
         self.port = port
         self.url = ""
+        self.max_sse_sessions = max_sse_sessions
+        self.server: Optional[HTTPServer] = None
         self._thread: Optional[threading.Thread] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stopped: Optional[asyncio.Future] = None
@@ -40,7 +46,11 @@ class ServerThread:
         loop = asyncio.new_event_loop()
         asyncio.set_event_loop(loop)
         self._loop = loop
-        server = HTTPServer(self.app.router(), self.host, self.port)
+        server = HTTPServer(
+            self.app.router(), self.host, self.port,
+            max_sse_sessions=self.max_sse_sessions,
+        )
+        self.server = server
         try:
             loop.run_until_complete(server.start())
         except BaseException as exc:  # bind failure: surface in __enter__
@@ -69,6 +79,15 @@ class ServerThread:
         if self._error is not None:
             raise RuntimeError("server failed to start") from self._error
         return self
+
+    def run_coroutine(self, coro, timeout: float = 60.0):
+        """Run ``coro`` on the server's loop from the calling thread —
+        e.g. ``server.run_coroutine(server.server.drain())`` to exercise
+        the graceful-shutdown path from a test."""
+        assert self._loop is not None, "server not started"
+        return asyncio.run_coroutine_threadsafe(
+            coro, self._loop
+        ).result(timeout=timeout)
 
     def __exit__(self, *exc_info) -> None:
         if self._loop is not None and self._stopped is not None:

@@ -28,7 +28,15 @@ import asyncio
 import contextvars
 import json
 import threading
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import time
+from collections import OrderedDict
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Tuple
 
 from ..engine import ArtifactCache
@@ -38,7 +46,25 @@ from ..engine.pipeline import (
     Pipeline,
     Source,
 )
+from ..resil import faults
+from ..resil.retry import (
+    AdmissionGate,
+    CircuitBreaker,
+    CircuitOpen,
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+    Saturated,
+    TransientFault,
+    note_deadline,
+    note_giveup,
+    note_retry,
+)
 from .lod import LODPyramid
+
+#: Breakers are per build key; keep the table bounded (LRU) so a long
+#: serve process with unbounded key cardinality cannot grow it forever.
+_MAX_BREAKERS = 512
 
 __all__ = [
     "StageRunner",
@@ -67,7 +93,15 @@ class StageRunner:
     any moment, however many clients hit a cold artifact together.
     """
 
-    def __init__(self, workers: int = 0, threads: int = 4) -> None:
+    def __init__(
+        self,
+        workers: int = 0,
+        threads: int = 4,
+        retry: Optional[RetryPolicy] = None,
+        max_inflight: int = 0,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 30.0,
+    ) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
         self.workers = workers
@@ -82,18 +116,145 @@ class StageRunner:
             else self.thread_executor
         )
         self._inflight: Dict[str, asyncio.Future] = {}
-        self.stats: Dict[str, int] = {"builds": 0, "coalesced": 0, "errors": 0}
+        #: Transient faults (injected faults, dead pool workers) are
+        #: retried with backoff; deterministic exceptions propagate on
+        #: the first attempt, exactly as before.
+        self.retry = retry if retry is not None else RetryPolicy(
+            max_attempts=4, base_delay=0.05, max_delay=1.0
+        )
+        #: ``max_inflight > 0`` bounds concurrent *distinct* builds; the
+        #: overflow is refused with :class:`Saturated` (→ HTTP 429), and
+        #: a quarter of the slots stay reserved for interactive work.
+        self.gate = (
+            AdmissionGate(max_inflight) if max_inflight > 0 else None
+        )
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self._breakers: "OrderedDict[str, CircuitBreaker]" = OrderedDict()
+        self.stats: Dict[str, int] = {
+            "builds": 0, "coalesced": 0, "errors": 0,
+            "retries": 0, "respawns": 0, "shed": 0,
+            "breaker_open": 0, "deadline_exceeded": 0,
+        }
 
     @property
     def uses_processes(self) -> bool:
         return self.workers > 0
 
-    async def run(self, key: str, fn, *args):
+    # -- resilience plumbing -------------------------------------------
+    def _breaker_for(self, key: str) -> Optional[CircuitBreaker]:
+        if self.breaker_threshold <= 0:
+            return None
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self.breaker_threshold, self.breaker_cooldown
+            )
+            self._breakers[key] = breaker
+            if len(self._breakers) > _MAX_BREAKERS:
+                self._breakers.popitem(last=False)
+        else:
+            self._breakers.move_to_end(key)
+        return breaker
+
+    def _respawn(self) -> None:
+        """Replace a broken ProcessPoolExecutor with a fresh one."""
+        if not self.uses_processes:
+            return
+        broken, self._executor = self._executor, ProcessPoolExecutor(
+            max_workers=self.workers
+        )
+        self.stats["respawns"] += 1
+        broken.shutdown(wait=False, cancel_futures=True)
+
+    def _maybe_sacrifice_worker(self) -> None:
+        """Fault site ``worker_kill``: submit a job that ``os._exit``\\ s
+        its worker, breaking the pool (the retry path then respawns).
+        Scheduled parent-side so occurrence counting survives respawns."""
+        if not self.uses_processes:
+            return
+        if faults.should_fire("worker_kill") is None:
+            return
+        try:
+            self._executor.submit(faults._worker_suicide)
+        except BrokenExecutor:
+            pass
+
+    def _submit(self, loop: asyncio.AbstractEventLoop, fn, args: tuple):
+        job_fn, job_args = (
+            faults.wrap_job(fn, tuple(args)) if faults.active()
+            else (fn, args)
+        )
+        if self.uses_processes:
+            self._maybe_sacrifice_worker()
+            return loop.run_in_executor(self._executor, job_fn, *job_args)
+        # Thread mode: run the job inside a copy of the caller's
+        # context so repro.obs span parenting survives the hop
+        # onto the pool thread (a Context is not picklable, so
+        # process mode can't do this — see obs.trace.traced_job).
+        ctx = contextvars.copy_context()
+        return loop.run_in_executor(
+            self.thread_executor, ctx.run, job_fn, *job_args
+        )
+
+    async def _execute(self, fn, args: tuple, deadline: Optional[Deadline]):
+        """One logical build: retry transient faults with backoff,
+        respawn a broken process pool, honour the deadline budget."""
+        loop = asyncio.get_running_loop()
+        failures = 0
+        while True:
+            try:
+                awaitable = self._submit(loop, fn, args)
+                if deadline is None:
+                    return await awaitable
+                try:
+                    return await asyncio.wait_for(
+                        awaitable, deadline.remaining()
+                    )
+                except asyncio.TimeoutError:
+                    self.stats["deadline_exceeded"] += 1
+                    note_deadline("stage_runner")
+                    raise DeadlineExceeded(
+                        f"build exceeded {deadline.seconds:g}s budget"
+                    ) from None
+            except (TransientFault, BrokenProcessPool) as exc:
+                failures += 1
+                if isinstance(exc, BrokenProcessPool):
+                    self._respawn()
+                if failures >= self.retry.max_attempts or (
+                    deadline is not None and deadline.expired
+                ):
+                    note_giveup("stage_runner")
+                    raise
+                self.stats["retries"] += 1
+                note_retry("stage_runner")
+                pause = self.retry.delay(failures)
+                if deadline is not None:
+                    pause = min(pause, deadline.remaining())
+                if pause > 0.0:
+                    await asyncio.sleep(pause)
+
+    async def run(
+        self,
+        key: str,
+        fn,
+        *args,
+        interactive: bool = False,
+        timeout: Optional[float] = None,
+    ):
         """Run ``fn(*args)`` for ``key``, coalescing concurrent callers.
 
         All bookkeeping happens synchronously between awaits on the
         (single-threaded) event loop, so no lock is needed: a second
         request for ``key`` always sees the first one's future.
+
+        Resilience semantics: transient faults (injected faults, dead
+        pool workers) are retried inside the one logical build, so
+        ``stats["builds"]`` still counts logical builds and
+        ``stats["errors"]`` only final failures.  A saturated admission
+        gate raises :class:`Saturated`, an open circuit breaker
+        :class:`CircuitOpen` — both *before* any work is queued — and a
+        blown ``timeout`` raises :class:`DeadlineExceeded`.
         """
         existing = self._inflight.get(key)
         if existing is not None:
@@ -101,36 +262,53 @@ class StageRunner:
             # shield(): a rider hanging up must not cancel the build
             # other riders (and the cache) are waiting on.
             return await asyncio.shield(existing)
+        breaker = self._breaker_for(key)
+        if breaker is not None and not breaker.allow():
+            self.stats["breaker_open"] += 1
+            raise CircuitOpen(key, breaker.retry_after())
+        if self.gate is not None and not self.gate.try_acquire(
+            interactive=interactive
+        ):
+            self.stats["shed"] += 1
+            raise Saturated(
+                f"build queue saturated "
+                f"({self.gate.admitted}/{self.gate.limit} in flight)",
+                retry_after=self.gate.retry_after,
+            )
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         self._inflight[key] = future
         self.stats["builds"] += 1
+        deadline = Deadline(timeout) if timeout is not None else None
         try:
-            if self.uses_processes:
-                value = await loop.run_in_executor(self._executor, fn, *args)
-            else:
-                # Thread mode: run the job inside a copy of the caller's
-                # context so repro.obs span parenting survives the hop
-                # onto the pool thread (a Context is not picklable, so
-                # process mode can't do this — see obs.trace.traced_job).
-                ctx = contextvars.copy_context()
-                value = await loop.run_in_executor(
-                    self.thread_executor, ctx.run, fn, *args
-                )
+            value = await self._execute(fn, args, deadline)
         except BaseException as exc:
             self.stats["errors"] += 1
+            if breaker is not None and not isinstance(
+                exc, asyncio.CancelledError
+            ):
+                breaker.record_failure()
             if not future.done():
                 future.set_exception(exc)
                 future.exception()  # mark retrieved even with no riders
             raise
         else:
+            if breaker is not None:
+                breaker.record_success()
             if not future.done():
                 future.set_result(value)
             return value
         finally:
             self._inflight.pop(key, None)
+            if self.gate is not None:
+                self.gate.release()
 
-    def map_sync(self, fn, args_list: List[tuple]) -> List:
+    def map_sync(
+        self,
+        fn,
+        args_list: List[tuple],
+        timeout: Optional[float] = None,
+    ) -> List:
         """Run ``fn(*args)`` for every tuple in ``args_list`` on the
         pool, synchronously, preserving input order.
 
@@ -140,20 +318,99 @@ class StageRunner:
         splitting a multi-source centrality's source list into chunks.
         In process mode ``fn`` must be a picklable module-level
         function, exactly like the build jobs below.
+
+        Failed jobs (transient faults, a broken process pool) are
+        **resubmitted individually** with backoff — completed shards are
+        never recomputed — until the retry budget or the optional
+        ``timeout`` budget runs out.
         """
-        if self.uses_processes:
-            futures = [self._executor.submit(fn, *args) for args in args_list]
-        else:
-            # Propagate the caller's context (repro.obs span parenting)
-            # onto the worker threads; a fresh copy per job keeps the
-            # jobs' own contextvar writes isolated from each other.
-            futures = [
-                self._executor.submit(
-                    contextvars.copy_context().run, fn, *args
+        deadline = Deadline(timeout) if timeout is not None else None
+        results: List = [None] * len(args_list)
+        pending = list(range(len(args_list)))
+        failures = 0
+        last_exc: Optional[BaseException] = None
+        while True:
+            futures = {}
+            broken = False
+            for index in pending:
+                job_fn, job_args = (
+                    faults.wrap_job(fn, tuple(args_list[index]))
+                    if faults.active() else (fn, args_list[index])
                 )
-                for args in args_list
-            ]
-        return [future.result() for future in futures]
+                try:
+                    if self.uses_processes:
+                        self._maybe_sacrifice_worker()
+                        futures[index] = self._executor.submit(
+                            job_fn, *job_args
+                        )
+                    else:
+                        # Propagate the caller's context (repro.obs span
+                        # parenting) onto the worker threads; a fresh
+                        # copy per job keeps the jobs' own contextvar
+                        # writes isolated from each other.
+                        futures[index] = self._executor.submit(
+                            contextvars.copy_context().run, job_fn, *job_args
+                        )
+                except BrokenExecutor as exc:
+                    broken = True
+                    last_exc = exc
+                    break
+            still = [i for i in pending if i not in futures]
+            for index, future in futures.items():
+                try:
+                    results[index] = future.result(
+                        timeout=deadline.remaining()
+                        if deadline is not None else None
+                    )
+                except FuturesTimeout:
+                    self.stats["deadline_exceeded"] += 1
+                    note_deadline("map_sync")
+                    raise DeadlineExceeded(
+                        f"map_sync exceeded {deadline.seconds:g}s budget"
+                    ) from None
+                except BrokenProcessPool as exc:
+                    broken = True
+                    last_exc = exc
+                    still.append(index)
+                except TransientFault as exc:
+                    last_exc = exc
+                    still.append(index)
+            if broken:
+                self._respawn()
+            if not still:
+                return results
+            still.sort()
+            failures += 1
+            if failures >= self.retry.max_attempts or (
+                deadline is not None and deadline.expired
+            ):
+                note_giveup("map_sync")
+                raise last_exc if last_exc is not None else BrokenExecutor(
+                    "process pool broke during submit"
+                )
+            self.stats["retries"] += len(still)
+            note_retry("map_sync")
+            pause = self.retry.delay(failures)
+            if deadline is not None:
+                pause = min(pause, deadline.remaining())
+            if pause > 0.0:
+                time.sleep(pause)
+            pending = still
+
+    def resil_snapshot(self) -> Dict[str, object]:
+        """Admission/breaker/retry state for ``/stats``."""
+        open_keys = [
+            key for key, breaker in self._breakers.items()
+            if breaker.state != "closed"
+        ]
+        return {
+            "retry": self.retry.snapshot(),
+            "gate": self.gate.snapshot() if self.gate is not None else None,
+            "breakers": {
+                "tracked": len(self._breakers),
+                "open": open_keys[:16],
+            },
+        }
 
     def shutdown(self) -> None:
         self._executor.shutdown(wait=False, cancel_futures=True)

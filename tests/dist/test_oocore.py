@@ -8,6 +8,7 @@ import pytest
 from repro.core import ScalarGraph, build_vertex_tree
 from repro.dist import (
     ShardedExecutor,
+    ShardIntegrityError,
     load_shards,
     partition_edges,
     scatter_edge_list,
@@ -154,6 +155,45 @@ def test_range_scatter_is_not_dedup_safe(tmp_path):
     finally:
         ex.shutdown()
     assert merged.tolist() == [1.0, 2.0, 2.0, 1.0]
+
+
+def test_missing_fragment_raises_typed_integrity_error(edge_file, tmp_path):
+    out = tmp_path / "missing"
+    scatter_edge_list(edge_file, 2, out, method="hash")
+    (out / "shard_0001.edges.i64").unlink()
+    with pytest.raises(ShardIntegrityError, match="missing") as excinfo:
+        load_shards(out)
+    assert excinfo.value.bad_shards == (1,)
+    # The typed error still subclasses ValueError for legacy callers.
+    assert isinstance(excinfo.value, ValueError)
+
+
+def test_bad_sha256_quarantines_the_sidecar(edge_file, tmp_path):
+    out = tmp_path / "sha"
+    scatter_edge_list(edge_file, 2, out, method="hash")
+    sidecar = out / "shard_0000.edges.i64"
+    data = bytearray(sidecar.read_bytes())
+    data[-1] ^= 0xFF  # edge count intact, fingerprint wrong
+    sidecar.write_bytes(bytes(data))
+    with pytest.raises(ShardIntegrityError, match="fingerprint") as excinfo:
+        load_shards(out)
+    assert 0 in excinfo.value.bad_shards
+    # The damaged bytes are moved aside, not left to trip the next load.
+    assert not sidecar.exists()
+    assert sidecar.with_name(sidecar.name + ".quarantined").exists()
+    with pytest.raises(ShardIntegrityError, match="missing"):
+        load_shards(out)  # now a missing fragment, not the same bytes
+
+
+def test_every_damaged_shard_is_reported(edge_file, tmp_path):
+    out = tmp_path / "both"
+    scatter_edge_list(edge_file, 2, out, method="hash")
+    (out / "shard_0000.edges.i64").unlink()
+    other = out / "shard_0001.edges.i64"
+    other.write_bytes(other.read_bytes()[:-8])  # half an edge: truncated
+    with pytest.raises(ShardIntegrityError) as excinfo:
+        load_shards(out)
+    assert sorted(excinfo.value.bad_shards) == [0, 1]
 
 
 def test_explicit_n_vertices_and_isolated_tail(tmp_path):

@@ -1,0 +1,21 @@
+"""Shared plumbing for the resilience tests: install a fault schedule
+for one test and always tear it back down (the schedule is process-global
+state — a leaked schedule would fail unrelated tests at a distance)."""
+
+import pytest
+
+from repro.resil import faults
+
+
+@pytest.fixture
+def fault_spec():
+    """``fault_spec("task_fail:1;...")`` installs a schedule; teardown
+    disables injection again."""
+    installed = []
+
+    def install(spec):
+        installed.append(spec)
+        return faults.configure(spec)
+
+    yield install
+    faults.configure(None)

@@ -1,0 +1,206 @@
+"""Chaos suite: inject scheduled faults into real builds and assert the
+outputs are *node-identical* to a fault-free run — resilience must heal,
+never silently change results."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core import ScalarGraph, build_vertex_tree
+from repro.dist import (
+    ShardedExecutor,
+    ShardIntegrityError,
+    load_shards,
+    partition_edges,
+    resilient_scatter,
+    scatter_edge_list,
+)
+from repro.engine import ArtifactCache, EdgeListSource, Pipeline, registry
+from repro.graph import generators
+from repro.graph.io import write_edge_list
+from repro.resil import faults
+from repro.resil.retry import InjectedFault
+from repro.serve import StageRunner
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.powerlaw_cluster(300, 2, 0.3, seed=11)
+
+
+@pytest.fixture(scope="module")
+def scalars(graph):
+    return registry.compute("degree", graph)
+
+
+@pytest.fixture(scope="module")
+def reference_tree(graph, scalars):
+    return build_vertex_tree(ScalarGraph(graph, scalars))
+
+
+@pytest.fixture(scope="module")
+def edge_file(graph, tmp_path_factory):
+    path = tmp_path_factory.mktemp("chaos") / "graph.txt"
+    write_edge_list(graph, path)
+    return path
+
+
+def assert_identical(tree, reference):
+    assert np.array_equal(tree.parent, reference.parent)
+    assert np.array_equal(tree.scalars, reference.scalars)
+
+
+class TestShardedBuilds:
+    def test_task_faults_heal_to_identical_tree(
+        self, graph, scalars, reference_tree, fault_spec
+    ):
+        fault_spec("task_fail:1,3;task_delay:2:0.01")
+        shards = partition_edges(graph, 3, "hash")
+        ex = ShardedExecutor(workers=0)
+        try:
+            tree = ex.build_tree(scalars, shards)
+        finally:
+            ex.shutdown()
+        assert_identical(tree, reference_tree)
+        assert ex.runner.stats["retries"] >= 1
+        assert faults.snapshot()["fired"]["task_fail"] == 2
+
+    def test_worker_kill_respawns_pool(
+        self, graph, scalars, reference_tree, fault_spec
+    ):
+        # Every pool task also sleeps a beat: the surviving worker must
+        # not race through the queue before the executor notices the
+        # kill, or no BrokenProcessPool is ever observed.
+        fault_spec("worker_kill:1;task_delay:*:0.05")
+        shards = partition_edges(graph, 4, "hash")
+        ex = ShardedExecutor(workers=2)
+        try:
+            tree = ex.build_tree(scalars, shards)
+            assert ex.runner.stats["respawns"] >= 1
+        finally:
+            ex.shutdown()
+        assert_identical(tree, reference_tree)
+
+    def test_unbounded_faults_eventually_give_up(
+        self, graph, scalars, fault_spec
+    ):
+        fault_spec("task_fail:*")
+        shards = partition_edges(graph, 2, "hash")
+        ex = ShardedExecutor(workers=0)
+        ex.runner.retry.base_delay = 0.0
+        try:
+            with pytest.raises(InjectedFault):
+                ex.build_tree(scalars, shards)
+        finally:
+            ex.shutdown()
+
+
+class TestStageRunnerChaos:
+    def test_run_retries_injected_fault(self, fault_spec):
+        fault_spec("task_fail:1")
+        runner = StageRunner()
+        try:
+            result = asyncio.run(runner.run("k", lambda: "healed"))
+        finally:
+            runner.shutdown()
+        assert result == "healed"
+        assert runner.stats == {
+            **runner.stats, "builds": 1, "errors": 0, "retries": 1,
+        }
+
+    def test_map_sync_resubmits_only_failed_jobs(self, fault_spec):
+        fault_spec("task_fail:2")
+        runner = StageRunner()
+        try:
+            results = runner.map_sync(
+                _double, [(i,) for i in range(5)]
+            )
+        finally:
+            runner.shutdown()
+        assert results == [0, 2, 4, 6, 8]
+        assert runner.stats["retries"] == 1
+
+
+def _double(x):
+    return 2 * x
+
+
+class TestPipelineChaos:
+    def test_stage_fault_retried_inside_stage(
+        self, edge_file, reference_tree, fault_spec
+    ):
+        fault_spec("stage_fail:1")
+        pipeline = Pipeline(EdgeListSource(edge_file), "degree")
+        assert_identical(pipeline.tree, reference_tree)
+
+    def test_cache_corruption_is_a_miss_not_a_crash(
+        self, edge_file, tmp_path, fault_spec
+    ):
+        # First process run writes envelopes, the scheduled fault
+        # truncates one on disk right after the atomic rename.
+        fault_spec("cache_corrupt:1")
+        cache = ArtifactCache(tmp_path)
+        first = Pipeline(EdgeListSource(edge_file), "degree", cache=cache)
+        tree = first.tree
+        faults.configure(None)
+        # A fresh cache over the same directory (same process restart
+        # semantics): the corrupted envelope must read as a miss and be
+        # deleted, and the rebuild must agree with the first run.
+        reread = ArtifactCache(tmp_path)
+        second = Pipeline(EdgeListSource(edge_file), "degree", cache=reread)
+        assert np.array_equal(second.tree.parent, tree.parent)
+        assert reread.stats["corrupt"] >= 1
+
+
+class TestScatterChaos:
+    def test_corrupt_fragment_quarantined_and_rescattered(
+        self, graph, edge_file, tmp_path, fault_spec
+    ):
+        fault_spec("fragment_corrupt:1")
+        out = tmp_path / "healed"
+        result, shards = resilient_scatter(
+            edge_file, 2, out, method="hash"
+        )
+        assert len(shards) == 2
+        quarantined = list(out.glob("*.quarantined"))
+        assert quarantined, "bad fragment was not quarantined"
+        # The healed scatter is byte-identical to a clean one.
+        clean = scatter_edge_list(
+            edge_file, 2, tmp_path / "clean", method="hash"
+        ).load()
+        for healed, good in zip(shards, clean):
+            assert np.array_equal(healed.edges, good.edges)
+
+    def test_truncated_fragment_quarantined(
+        self, edge_file, tmp_path, fault_spec
+    ):
+        fault_spec("fragment_truncate:1:1")  # param 1 -> shard 1
+        out = tmp_path / "trunc"
+        result, shards = resilient_scatter(
+            edge_file, 2, out, method="hash"
+        )
+        assert len(shards) == 2
+        assert any(
+            "shard_0001" in path.name for path in out.glob("*.quarantined")
+        )
+
+    def test_unbounded_corruption_raises_integrity_error(
+        self, edge_file, tmp_path, fault_spec
+    ):
+        fault_spec("fragment_corrupt:*")
+        with pytest.raises(ShardIntegrityError):
+            resilient_scatter(
+                edge_file, 2, tmp_path / "doomed", method="hash",
+                max_attempts=2,
+            )
+
+
+class TestNativeCompileChaos:
+    def test_scheduled_compile_failure_soft_falls_back(self, fault_spec):
+        native = pytest.importorskip("repro.accel.native")
+        fault_spec("compile_fail:1")
+        with pytest.raises(
+            native._Unavailable, match="scheduled compile failure"
+        ):
+            native._load_impl()
