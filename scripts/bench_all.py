@@ -8,7 +8,7 @@ environment — set ``REPRO_BENCH_TINY=1`` for CI-smoke sizes and
 runs with ``$REPRO_TRACE`` pointed at a per-bench JSONL sink under
 ``benchmarks/out/``, so repro.obs spans from the instrumented layers
 are captured without any bench opting in.  Results land in
-``BENCH_PR7.json``:
+``BENCH_PR10.json``:
 
 * ``benches`` — per-file wall time and exit status;
 * ``speedups`` — the naive/vector/native kernel speedup columns and the
@@ -19,10 +19,12 @@ are captured without any bench opting in.  Results land in
   ``bench_table2_construction.py`` when a toolchain exists;
 * ``span_rollups`` — per-span-name p50/p95/max/total ms over all spans
   traced across the run (see :func:`repro.obs.trace.rollup`);
-* ``env`` — the knobs that shaped the run.
+* ``env`` — the knobs that shaped the run, including the host
+  fingerprint (see :func:`repro.obs.costs.host_fingerprint`) so
+  ``scripts/bench_diff.py`` can refuse cross-host comparisons.
 
-Future PRs diff this file against their own run to keep a perf
-trajectory.
+Future PRs diff this file against their own run with
+``scripts/bench_diff.py`` to keep a perf trajectory.
 
 Usage::
 
@@ -111,7 +113,7 @@ def main(argv=None) -> int:
         help="run only bench files whose name contains SUBSTRING",
     )
     parser.add_argument(
-        "--output", default=str(REPO_ROOT / "BENCH_PR7.json"),
+        "--output", default=str(REPO_ROOT / "BENCH_PR10.json"),
         help="consolidated ledger path (default: %(default)s)",
     )
     parser.add_argument(
@@ -148,6 +150,7 @@ def main(argv=None) -> int:
         if result["exit_code"] != 0:
             failed.append(path.name)
 
+    from repro.obs import costs as obs_costs
     from repro.obs import trace as obs_trace
 
     records = []
@@ -166,6 +169,7 @@ def main(argv=None) -> int:
             "accel": os.environ.get("REPRO_ACCEL", "auto") or "auto",
             "native_available": _native_available(),
             "python": sys.version.split()[0],
+            "host": obs_costs.host_fingerprint(),
         },
         "total_seconds": round(sum(b["seconds"] for b in benches.values()), 3),
     }

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """CI smoke test for repro.obs: trace a real CLI run, scrape /metrics.
 
-Two legs, both against subprocesses (so the instrumentation is proven
+Four legs, all against subprocesses (so the instrumentation is proven
 end to end, not just in-process):
 
 1. ``repro terrain --trace trace.jsonl`` on a tiny edge list — assert
@@ -13,10 +13,18 @@ end to end, not just in-process):
    families (cache hits/misses, HTTP latency histogram, uptime gauge),
    and that ``/stats`` exposes the span rollup section and every
    response carries an ``X-Request-Id``.
+3. ``repro prof -- terrain ...`` — assert the CLI profiler passthrough
+   writes a non-empty ``.collapsed`` stack file and a well-formed
+   flamegraph ``.svg``.
+4. The profiling/debug surfaces off a booted server: ``/dash`` renders
+   the HTML dashboard with sparklines, ``/debug/prof`` returns both the
+   flamegraph SVG and collapsed text, ``/debug/slow`` returns the
+   exemplar store JSON.
 
 Exit code 0 on success.  Usage::
 
-    PYTHONPATH=src python scripts/obs_smoke.py
+    PYTHONPATH=src python scripts/obs_smoke.py        # all legs
+    PYTHONPATH=src python scripts/obs_smoke.py prof   # prof legs only
 """
 
 import http.client
@@ -210,9 +218,110 @@ def check_metrics(tmp: Path, edge_list: Path) -> None:
             proc.kill()
 
 
-def main() -> int:
+def check_cli_prof(tmp: Path, edge_list: Path) -> None:
+    """``repro prof`` passthrough: profile a real terrain run, check
+    both artifacts."""
+    out_base = tmp / "prof_run"
+    out_png = tmp / "prof_terrain.png"
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "prof",
+            "-o", str(out_base), "--hz", "97", "--",
+            "terrain",
+            "--edge-list", str(edge_list),
+            "--measure", "kcore",
+            "--resolution", "32", "--width", "64", "--height", "48",
+            "-o", str(out_png),
+        ],
+        env=child_env(), cwd=str(REPO),
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+    )
+    output = proc.stdout.decode(errors="replace")
+    assert proc.returncode == 0, output
+    assert out_png.exists(), "profiled terrain render missing"
+    collapsed = out_base.with_suffix(".collapsed")
+    svg = out_base.with_suffix(".svg")
+    assert collapsed.exists() and svg.exists(), output
+    lines = collapsed.read_text().strip().splitlines()
+    assert lines, "collapsed profile is empty"
+    for line in lines:
+        stack, _, count = line.rpartition(" ")
+        assert stack and count.isdigit(), f"bad collapsed line: {line!r}"
+    import xml.etree.ElementTree as ET
+
+    root = ET.fromstring(svg.read_text())
+    assert root.tag.endswith("svg"), root.tag
+    print(f"[ok] repro prof: {len(lines)} collapsed stacks + flamegraph SVG")
+
+
+def check_serve_prof(tmp: Path, edge_list: Path) -> None:
+    """Profiling/debug surfaces off a booted server: /dash, /debug/prof
+    (svg + collapsed), /debug/slow."""
+    import xml.etree.ElementTree as ET
+
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--datasets", "",
+            "--edge-list", f"toy={edge_list}",
+            "--measures", "kcore",
+            "--tile-size", "16", "--levels", "2",
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=child_env(),
+    )
+    try:
+        port = wait_for_server(proc)
+
+        # Traffic so the dashboard has something to chart.
+        status, _, _ = get(port, "/t/toy/kcore/0/0/0")
+        assert status == 200, status
+
+        status, headers, body = get(port, "/dash")
+        assert status == 200, status
+        assert headers["Content-Type"].startswith("text/html"), headers
+        page = body.decode()
+        assert "<svg" in page, "dashboard has no sparklines"
+        assert "/debug/prof" in page and "/debug/slow" in page, "no links"
+        print(f"[ok] /dash renders ({len(page)} bytes, sparklines inline)")
+
+        status, headers, body = get(port, "/debug/prof?seconds=1")
+        assert status == 200, status
+        assert headers["Content-Type"].startswith("image/svg"), headers
+        root = ET.fromstring(body.decode())
+        assert root.tag.endswith("svg"), root.tag
+        print("[ok] /debug/prof?seconds=1 -> flamegraph SVG")
+
+        status, headers, body = get(
+            port, "/debug/prof?seconds=1&format=collapsed"
+        )
+        assert status == 200, status
+        assert headers["Content-Type"].startswith("text/plain"), headers
+        print("[ok] /debug/prof?format=collapsed -> text")
+
+        status, _, body = get(port, "/debug/slow")
+        assert status == 200, status
+        slow = json.loads(body)
+        assert "threshold_s" in slow and "exemplars" in slow, sorted(slow)
+        print(f"[ok] /debug/slow: {slow['observed']} observed, "
+              f"{slow['captured']} captured")
+        return
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
+def main(argv=None) -> int:
     from repro.graph import from_edges
     from repro.graph.io import write_edge_list
+
+    argv = sys.argv[1:] if argv is None else argv
+    leg = argv[0] if argv else "all"
+    assert leg in ("all", "trace", "prof"), f"unknown leg {leg!r}"
 
     tmp = Path(tempfile.mkdtemp(prefix="repro-obs-smoke-"))
     graph = from_edges(
@@ -222,9 +331,13 @@ def main() -> int:
     edge_list = tmp / "toy.txt"
     write_edge_list(graph, edge_list)
 
-    check_trace(tmp, edge_list)
-    check_metrics(tmp, edge_list)
-    print("obs smoke: tracing and metrics healthy")
+    if leg in ("all", "trace"):
+        check_trace(tmp, edge_list)
+        check_metrics(tmp, edge_list)
+    if leg in ("all", "prof"):
+        check_cli_prof(tmp, edge_list)
+        check_serve_prof(tmp, edge_list)
+    print(f"obs smoke ({leg}): healthy")
     return 0
 
 

@@ -256,6 +256,48 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_prof(args) -> int:
+    """Run another CLI command under the sampling profiler and write
+    ``<output>.collapsed`` (collapsed-stack text) + ``<output>.svg``
+    (flamegraph)."""
+    from .obs import prof as obs_prof
+
+    rest = list(args.argv)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest:
+        print("prof: nothing to profile — usage: repro prof [-o NAME] "
+              "[--hz HZ] -- <command> [args...]", file=sys.stderr)
+        return 2
+    if rest[0] == "prof":
+        print("prof: refusing to profile a nested 'prof' run",
+              file=sys.stderr)
+        return 2
+
+    profiler = obs_prof.SamplingProfiler(hz=args.hz).start()
+    try:
+        rc = main(rest)
+    finally:
+        profile = profiler.stop()
+
+    out = Path(args.output)
+    collapsed_path = out.with_suffix(".collapsed")
+    svg_path = out.with_suffix(".svg")
+    collapsed_path.write_text(profile.collapsed() + "\n", encoding="utf-8")
+    svg_path.write_text(
+        obs_prof.flamegraph_svg(
+            profile, title=f"repro {' '.join(rest)} — {args.hz}Hz"
+        ),
+        encoding="utf-8",
+    )
+    print(
+        f"prof: {profile.n_samples} samples over "
+        f"{profile.duration_s:.2f}s at {args.hz}Hz -> "
+        f"{collapsed_path}, {svg_path}"
+    )
+    return rc
+
+
 def _cmd_dist_build(args) -> int:
     """Build a scalar tree through the sharded backend and report the
     shard/merge summary — the scaling counterpart of ``terrain``.
@@ -733,6 +775,8 @@ def _cmd_serve(args) -> int:
             app.router(), args.host, args.port,
             max_sse_sessions=args.max_sse_sessions,
         )
+        # /debug/slow exemplars ride the post-response hook.
+        server.request_observer = app.observe_request
         await server.start()
         resolution = args.tile_size * 2 ** (args.levels - 1)
         print(
@@ -831,6 +875,32 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--width", type=int, default=720)
     profile.add_argument("--height", type=int, default=240)
     profile.set_defaults(func=_cmd_profile)
+
+    prof = sub.add_parser(
+        "prof",
+        help="profile another repro command, write .collapsed + "
+             "flamegraph .svg",
+        description=(
+            "Run any other repro command under the stdlib sampling "
+            "profiler: repro prof -o run --hz 97 -- terrain --dataset "
+            "grqc --measure kcore -o t.png.  Writes run.collapsed "
+            "(collapsed-stack text, flamegraph.pl compatible) and "
+            "run.svg (self-contained flamegraph)."
+        ),
+    )
+    prof.add_argument(
+        "-o", "--output", default="profile",
+        help="output basename (writes <name>.collapsed and <name>.svg)",
+    )
+    prof.add_argument(
+        "--hz", type=int, default=97,
+        help="sampling frequency (default: 97)",
+    )
+    prof.add_argument(
+        "argv", nargs=argparse.REMAINDER,
+        help="the command to profile, after an optional '--'",
+    )
+    prof.set_defaults(func=_cmd_prof)
 
     dist_build = sub.add_parser(
         "dist-build",

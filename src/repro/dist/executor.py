@@ -36,6 +36,7 @@ only re-reduces shards whose edges or field actually changed.
 
 from __future__ import annotations
 
+import pickle
 import time
 from typing import Dict, List, Optional, Sequence
 
@@ -43,6 +44,7 @@ import numpy as np
 
 from ..accel.tree import merge_scan_keep, rank_order, vertex_tree_parents
 from ..core.scalar_tree import ScalarTree
+from ..obs import costs as obs_costs
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from .partition import Shard, cut_vertices
@@ -185,6 +187,13 @@ class ShardedExecutor:
         An existing :class:`~repro.serve.workers.StageRunner` to borrow
         (the server shares its own); when given, ``workers`` is ignored
         and :meth:`shutdown` leaves the runner alive.
+    ledger:
+        A :class:`~repro.obs.costs.CostLedger` receiving the measured
+        shard costs (``dist.tree`` wall time, per-shard ``dist.reduce``
+        seconds, ``dist.serialize`` bytes/seconds); defaults to the
+        process-wide ledger.  These are the numbers
+        :func:`repro.dist.plan.plan` weighs against the single-process
+        ``stage.tree`` time before agreeing to shard again.
     """
 
     def __init__(
@@ -193,6 +202,7 @@ class ShardedExecutor:
         *,
         runner=None,
         deadline_s: Optional[float] = None,
+        ledger=None,
     ) -> None:
         from ..serve.workers import StageRunner
 
@@ -202,6 +212,7 @@ class ShardedExecutor:
         else:
             self.runner = StageRunner(workers=workers)
             self._owns_runner = True
+        self.ledger = ledger if ledger is not None else obs_costs.default_ledger()
         #: Per-fan-out wall-clock budget (None = unbounded).  The runner
         #: charges retries and backoff against the same budget, so a
         #: fault storm surfaces as DeadlineExceeded instead of a hang.
@@ -215,6 +226,8 @@ class ShardedExecutor:
             "merge_seconds": 0.0,
             "field_merges": 0,
             "poisoned_forests": 0,
+            "serialized_bytes": 0,
+            "serialize_seconds": 0.0,
         }
 
     @property
@@ -261,13 +274,63 @@ class ShardedExecutor:
         if miss_idx:
             self.stats["reduce_jobs"] += len(miss_idx)
             _M_REDUCE_JOBS.inc(len(miss_idx))
-            with _M_REDUCE_SECONDS.time():
+            self._measure_serialization(shards[miss_idx[0]], rank)
+            with _M_REDUCE_SECONDS.time() as timer:
                 results = self._fan_out_reduces(miss_idx, shards, rank, n)
+            mean_edges = sum(
+                int(shards[i].n_edges) for i in miss_idx
+            ) // len(miss_idx)
+            self._record_cost(
+                "dist.reduce",
+                timer.seconds / len(miss_idx),
+                size=mean_edges,
+            )
             for i, forest in zip(miss_idx, results):
                 forests[i] = forest
                 if cache is not None and keys[i] is not None:
                     cache.put(keys[i], forest)
         return forests  # type: ignore[return-value]
+
+    def _record_cost(self, stage: str, seconds: float, *, size: int = 0,
+                     nbytes: Optional[int] = None) -> None:
+        try:
+            self.ledger.record(
+                stage,
+                seconds,
+                backend=f"workers={self.workers}",
+                size=size,
+                nbytes=nbytes,
+            )
+        except Exception:
+            # A broken ledger (read-only cache dir) never fails a build.
+            pass
+
+    def _measure_serialization(self, shard: Shard, rank: np.ndarray) -> None:
+        """Measure what shipping one shard job to a process worker
+        costs (the fan-out's fixed overhead the planner must weigh).
+
+        One representative ``pickle.dumps`` of a real job payload per
+        cold fan-out — thread mode ships references, not bytes, so only
+        process pools pay this and only they are measured.
+        """
+        if not getattr(self.runner, "uses_processes", False):
+            return
+        t0 = time.perf_counter()
+        try:
+            payload = pickle.dumps(
+                (shard.edges, rank), protocol=pickle.HIGHEST_PROTOCOL
+            )
+        except Exception:
+            return
+        seconds = time.perf_counter() - t0
+        self.stats["serialized_bytes"] += len(payload)
+        self.stats["serialize_seconds"] += seconds
+        self._record_cost(
+            "dist.serialize",
+            seconds,
+            size=int(shard.n_edges),
+            nbytes=len(payload),
+        )
 
     def _fan_out_reduces(
         self,
@@ -345,12 +408,24 @@ class ShardedExecutor:
             )
         self.stats["builds"] += 1
         _M_BUILDS.inc()
+        jobs_before = self.stats["reduce_jobs"]
+        t0 = time.perf_counter()
         with obs_trace.span(
             "dist.build_tree", n_shards=len(shards), n_vertices=int(n)
         ):
-            return self._build_tree(
+            tree = self._build_tree(
                 scalars, shards, n, cache, scalars_fingerprint
             )
+        # Only cold builds (reduce jobs actually ran) are comparable to
+        # the single-process stage.tree time the planner weighs this
+        # against — a warm replay from cached forests would flatter
+        # sharding.
+        if self.stats["reduce_jobs"] > jobs_before:
+            total_edges = sum(int(s.n_edges) for s in shards)
+            self._record_cost(
+                "dist.tree", time.perf_counter() - t0, size=total_edges
+            )
+        return tree
 
     def _build_tree(
         self, scalars, shards, n, cache, scalars_fingerprint

@@ -41,12 +41,14 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..graph.io import DEFAULT_CHUNK_EDGES, iter_edge_chunks
+from ..obs import costs as obs_costs
 from ..obs import metrics as obs_metrics
 from ..resil import faults as resil_faults
 from ..resil.retry import note_giveup, note_retry
@@ -78,6 +80,19 @@ _M_QUARANTINED = obs_metrics.REGISTRY.counter(
     "Shard fragments quarantined after a failed integrity check.",
     ("reason",),
 )
+
+
+def _record_cost(stage: str, seconds: float, *, size: int = 0,
+                 nbytes: Optional[int] = None) -> None:
+    """Measured scatter/load wall time into the process cost ledger —
+    part of the sharding overhead ``--dist auto`` weighs.  Best-effort:
+    a broken ledger never fails an I/O pass that already succeeded."""
+    try:
+        obs_costs.default_ledger().record(
+            stage, seconds, size=size, nbytes=nbytes
+        )
+    except Exception:
+        pass
 
 
 class ShardIntegrityError(ValueError):
@@ -181,6 +196,7 @@ def scatter_edge_list(
         raise ValueError("max_buffer_bytes must be >= 1")
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
+    t_start = time.perf_counter()
 
     # ---- pass 1: counting (degrees, canonical edge count, max id) ----
     degrees = np.zeros(1024, dtype=np.int64)
@@ -304,6 +320,7 @@ def scatter_edge_list(
         str(out_dir / "boundary.i64")
     )
 
+    scatter_seconds = time.perf_counter() - t_start
     stats = {
         "n_edges": int(n_edges_total),
         "n_vertices": n,
@@ -311,7 +328,15 @@ def scatter_edge_list(
         "flushes": n_flushes,
         "peak_buffered_bytes": int(peak_buffered),
         "buffer_limit_bytes": int(max_buffer_bytes),
+        "scatter_seconds": scatter_seconds,
     }
+    # 16 bytes per canonical edge (two int64 endpoints) hit the disk.
+    _record_cost(
+        "dist.scatter",
+        scatter_seconds,
+        size=int(n_edges_total),
+        nbytes=int(n_edges_total) * 16,
+    )
 
     # Fault sites `fragment_corrupt` / `fragment_truncate`: damage one
     # just-written sidecar (rule param selects the shard, default 0) so
@@ -409,6 +434,7 @@ def load_shards(directory: PathLike) -> List[Shard]:
     shards: List[Shard] = []
     problems: List[str] = []
     bad: List[object] = []
+    t_start = time.perf_counter()
     for manifest_path in manifest_paths:
         try:
             doc = json.loads(manifest_path.read_text())
@@ -429,6 +455,13 @@ def load_shards(directory: PathLike) -> List[Shard]:
             bad.extend(exc.bad_shards)
     if problems:
         raise ShardIntegrityError("; ".join(problems), bad_shards=bad)
+    total_edges = sum(int(len(s.edges)) for s in shards)
+    _record_cost(
+        "dist.load",
+        time.perf_counter() - t_start,
+        size=total_edges,
+        nbytes=total_edges * 16,
+    )
     return shards
 
 

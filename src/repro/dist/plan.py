@@ -15,6 +15,16 @@ ISSUE calls out:
 * **the registry ``cost`` field** — an expensive field (betweenness)
   dominates end-to-end time, so sharding the tree stage is worth doing
   on smaller graphs than for a cheap field.
+
+On top of those static signals, ``plan`` consults the *measured* cost
+ledger (:mod:`repro.obs.costs`) when one is supplied: if this host has
+recorded both single-process tree builds (``stage.tree``) and sharded
+builds (``dist.tree``) at a comparable size, and the sharded path is
+not measurably winning, auto declines regardless of what the static
+thresholds say.  That is the ROADMAP's "measured, not assumed" exit
+criterion — on a 1-core-ish host where sharding was observed to lose
+(0.77–0.83× in the PR5 ledger), ``--dist auto`` now stays
+single-process.
 """
 
 from __future__ import annotations
@@ -26,7 +36,14 @@ from typing import List, Optional, Union
 from ..graph.csr import CSRGraph
 from .partition import PARTITIONERS, Shard, cut_vertices, partition_edges
 
-__all__ = ["DistPlan", "usable_cpus", "score_partition", "choose_partitioner", "plan"]
+__all__ = [
+    "DistPlan",
+    "usable_cpus",
+    "score_partition",
+    "choose_partitioner",
+    "plan",
+    "last_decline_reason",
+]
 
 #: ``--dist auto`` leaves graphs below this many edges single-process
 #: (scaled down by the measure's declared cost — see :func:`plan`).
@@ -93,6 +110,46 @@ def choose_partitioner(graph: CSRGraph, n_shards: int) -> str:
 
 _COST_SCALE = {"cheap": 1.0, "moderate": 0.5, "expensive": 0.25}
 
+#: Sharding must beat single-process by at least this factor in the
+#: *measured* ledger before auto agrees to it — fan-out has fixed costs
+#: the EWMA smooths over, so a marginal win is treated as a loss.
+MEASURED_WIN_MARGIN = 0.9
+
+# Why the last `plan(..., "auto", ...)` call said no (None after a
+# yes).  Module-level because plan() signals decline by returning None,
+# which can't carry the reason; the pipeline reads it back through
+# last_decline_reason() for its --explain note.
+_LAST_DECLINE: Optional[str] = None
+
+
+def last_decline_reason() -> Optional[str]:
+    """Why the most recent auto plan declined to shard (or ``None``)."""
+    return _LAST_DECLINE
+
+
+def _decline(reason: str) -> None:
+    global _LAST_DECLINE
+    _LAST_DECLINE = reason
+
+
+def _ledger_verdict(ledger, measure: Optional[str], n_edges: int):
+    """Measured single vs sharded seconds at this size, if both exist.
+
+    Returns ``(single_s, dist_s)`` or ``None`` when the ledger lacks
+    either side of the comparison (first runs fall back to the static
+    thresholds — the ledger refines decisions, it never blocks them).
+    """
+    if ledger is None:
+        return None
+    try:
+        single = ledger.estimate("stage.tree", measure=measure, size=n_edges)
+        dist_s = ledger.estimate("dist.tree", size=n_edges)
+    except Exception:
+        return None
+    if single is None or dist_s is None:
+        return None
+    return single, dist_s
+
 
 def plan(
     dist: Union[None, str, int, DistPlan],
@@ -100,6 +157,8 @@ def plan(
     *,
     measure_cost: str = "moderate",
     partitioner: str = "auto",
+    measure: Optional[str] = None,
+    ledger=None,
 ) -> Optional[DistPlan]:
     """Resolve a ``--dist`` value to a :class:`DistPlan` (or ``None``).
 
@@ -109,6 +168,13 @@ def plan(
     ``measure_cost`` is the registry spec's ``cost`` field; expensive
     fields lower the auto threshold.  ``partitioner`` pins a method or
     lets the cost model pick (``"auto"``, needs ``graph``).
+
+    ``ledger`` (a :class:`repro.obs.costs.CostLedger`) and ``measure``
+    (the measure name, e.g. ``"kcore"``) let auto override the static
+    decision with *measured* costs: when the ledger holds both a
+    single-process ``stage.tree`` time and a sharded ``dist.tree`` time
+    at a comparable size, auto shards only if the measured sharded path
+    wins by at least ``1 - MEASURED_WIN_MARGIN``.
     """
     if isinstance(dist, DistPlan):
         return dist
@@ -119,16 +185,37 @@ def plan(
         if dist == "auto":
             cpus = usable_cpus()
             if cpus < 2:
+                _decline(f"auto: {cpus} usable cpu, nothing to fan out to")
                 return None
             if graph is None:
                 raise ValueError("--dist auto needs the graph to decide")
             threshold = AUTO_MIN_EDGES * _COST_SCALE.get(measure_cost, 0.5)
             if graph.n_edges < threshold:
+                _decline(
+                    f"auto: {graph.n_edges} edges < {threshold:.0f} "
+                    f"threshold ({measure_cost} field)"
+                )
                 return None
+            verdict = _ledger_verdict(ledger, measure, graph.n_edges)
+            if verdict is not None:
+                single_s, dist_s = verdict
+                if dist_s >= single_s * MEASURED_WIN_MARGIN:
+                    _decline(
+                        f"auto: measured sharded build {dist_s:.3f}s vs "
+                        f"single-process {single_s:.3f}s at "
+                        f"~{graph.n_edges} edges — sharding loses here"
+                    )
+                    return None
+                measured_note = (
+                    f", measured win {dist_s:.3f}s vs {single_s:.3f}s"
+                )
+            else:
+                measured_note = ""
             workers = min(4, cpus)
             reason = (
                 f"auto: {graph.n_edges} edges >= {threshold:.0f} "
                 f"({measure_cost} field), {cpus} usable cpus"
+                f"{measured_note}"
             )
         else:
             try:

@@ -57,6 +57,7 @@ from ..core import (
 from ..core.scalar_tree import ScalarTree
 from ..core.super_tree import SuperTree
 from ..graph import datasets
+from ..obs import costs as obs_costs
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..graph.csr import CSRGraph
@@ -310,6 +311,9 @@ class Pipeline(_TreeSinks):
         self.bins = bins
         self.scheme = scheme
         self.cache = cache if cache is not None else ArtifactCache()
+        # Measured build times land here (and persist next to the cache
+        # when it has a directory) so dist_plan can decide from data.
+        self.cost_ledger = obs_costs.ledger_for(self.cache.directory)
         self.dist = dist
         self._dist_resolved = False
         self._dist_plan = None
@@ -349,13 +353,39 @@ class Pipeline(_TreeSinks):
                     resil_faults.maybe_fail("stage_fail", f"stage.{name}")
                     return build()
 
-                with STAGE_BUILD_SECONDS.time(stage=name):
+                with STAGE_BUILD_SECONDS.time(stage=name) as timer:
                     value = retry_call(
                         guarded, policy=_STAGE_RETRY, site=f"stage.{name}"
                     )
                 sp.set(built=True)
+                self._record_cost(f"stage.{name}", timer.seconds)
                 value = self.cache.put(key, value, disk=disk)
         return value
+
+    def _record_cost(self, stage: str, seconds: float) -> None:
+        """Fold a measured cold-build time into the cost ledger (sized
+        by the graph when it's already loaded — source loads aren't)."""
+        try:
+            from .. import accel
+
+            # A sharded tree build is the executor's measurement
+            # (recorded as ``dist.tree``); folding it into the
+            # single-process ``stage.tree`` estimate would make the
+            # planner compare sharding against itself.
+            if stage == "stage.tree" and self._dist_plan is not None:
+                return
+            size = self._graph.n_edges if self._graph is not None else 0
+            self.cost_ledger.record(
+                stage,
+                seconds,
+                measure=self.measure,
+                backend=accel.get_backend(),
+                size=size,
+            )
+        except Exception:
+            # Ledger trouble (read-only cache dir, etc.) must never
+            # fail a build that already succeeded.
+            pass
 
     # -- stage-level entry points --------------------------------------
     def stage(self, name: str, params: Dict[str, object], build, disk=True):
@@ -410,12 +440,19 @@ class Pipeline(_TreeSinks):
                         "is not sharded)"
                     )
                 else:
+                    from ..dist.plan import last_decline_reason
+
                     self._dist_plan = dist_mod.plan(
-                        self.dist, self.graph, measure_cost=cost
+                        self.dist,
+                        self.graph,
+                        measure_cost=cost,
+                        measure=self.measure,
+                        ledger=self.cost_ledger,
                     )
                     if self._dist_plan is None:
                         self._dist_note = (
-                            "auto: graph/host below sharding thresholds"
+                            last_decline_reason()
+                            or "auto: graph/host below sharding thresholds"
                         )
         return self._dist_plan
 
@@ -426,7 +463,7 @@ class Pipeline(_TreeSinks):
         plan = self.dist_plan()
         if self._dist_executor is None:
             self._dist_executor = dist_mod.ShardedExecutor(
-                workers=plan.workers
+                workers=plan.workers, ledger=self.cost_ledger
             )
         if self._dist_shards is None:
             self._dist_shards = dist_mod.partition_edges(

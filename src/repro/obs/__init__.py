@@ -12,6 +12,16 @@ The observability layer the rest of the system reports through:
     A process-wide registry of counters, gauges and fixed-bucket
     histograms with Prometheus text-format exposition (served by
     ``GET /metrics``, printed by the CLI's ``--metrics`` flag).
+``repro.obs.prof``
+    A stdlib-only sampling wall-clock profiler (background thread over
+    ``sys._current_frames()``), span-scoped capture, and a
+    self-contained flamegraph SVG renderer.  Served by
+    ``GET /debug/prof``, driven from the CLI by ``repro prof``.
+``repro.obs.costs``
+    A persistent EWMA ledger of *measured* stage/shard costs, stamped
+    with a host fingerprint; ``repro.dist.plan`` consults it so
+    ``--dist auto`` declines to shard when measurements say sharding
+    loses on this host.
 
 Instrumented layers: :class:`~repro.engine.pipeline.Pipeline` stages,
 :class:`~repro.engine.cache.ArtifactCache` tiers,
@@ -23,18 +33,23 @@ convertible to Chrome trace JSON via
 :func:`~repro.obs.trace.chrome_trace_from_jsonl`.
 """
 
-from . import metrics, trace
+from . import costs, metrics, prof, trace
+from .costs import CostLedger, host_fingerprint
 from .metrics import REGISTRY
+from .prof import ContinuousProfiler, SamplingProfiler, capture, flamegraph_svg
 from .trace import (
     JSONLExporter,
     RingBufferExporter,
+    RollupAccumulator,
     add_exporter,
     chrome_trace_from_jsonl,
     current_span_id,
     enabled,
     remove_exporter,
     rollup,
+    sample_rate,
     set_enabled,
+    set_sample_rate,
     span,
     to_chrome_trace,
     traced_job,
@@ -43,10 +58,14 @@ from .trace import (
 __all__ = [
     "metrics",
     "trace",
+    "prof",
+    "costs",
     "REGISTRY",
     "span",
     "enabled",
     "set_enabled",
+    "set_sample_rate",
+    "sample_rate",
     "add_exporter",
     "remove_exporter",
     "current_span_id",
@@ -54,6 +73,11 @@ __all__ = [
     "rollup",
     "RingBufferExporter",
     "JSONLExporter",
-    "to_chrome_trace",
-    "chrome_trace_from_jsonl",
+    "RollupAccumulator",
+    "SamplingProfiler",
+    "ContinuousProfiler",
+    "capture",
+    "flamegraph_svg",
+    "CostLedger",
+    "host_fingerprint",
 ]

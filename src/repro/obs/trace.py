@@ -37,6 +37,7 @@ import contextvars
 import itertools
 import json
 import os
+import random
 import threading
 import time
 from collections import deque
@@ -47,6 +48,8 @@ __all__ = [
     "ENABLED",
     "enabled",
     "set_enabled",
+    "set_sample_rate",
+    "sample_rate",
     "add_exporter",
     "remove_exporter",
     "span",
@@ -55,6 +58,7 @@ __all__ = [
     "Tracer",
     "RingBufferExporter",
     "JSONLExporter",
+    "RollupAccumulator",
     "traced_job",
     "adopt",
     "to_chrome_trace",
@@ -65,6 +69,17 @@ __all__ = [
 
 #: Module-level enable flag — the one branch every disabled call pays.
 ENABLED = False
+
+#: Head-based sampling rate in [0, 1].  The keep/drop decision is made
+#: once per *root* span; descendants inherit it, so traces stay whole —
+#: either a request's full span tree is recorded or none of it is.
+_SAMPLE_RATE = 1.0
+
+_rng = random.Random()
+
+_sampled_out: "contextvars.ContextVar[bool]" = contextvars.ContextVar(
+    "repro_obs_sampled_out", default=False
+)
 
 _parent_id: "contextvars.ContextVar[Optional[str]]" = contextvars.ContextVar(
     "repro_obs_parent", default=None
@@ -244,13 +259,44 @@ class _NoopSpan:
 _NOOP = _NoopSpan()
 
 
+class _SuppressSpan:
+    """Entered by a sampled-out *root* span: marks the context so every
+    descendant takes the no-op path without re-drawing the dice (a
+    partial subtree with a missing root would count as an orphan)."""
+
+    __slots__ = ("_token",)
+
+    def __init__(self) -> None:
+        self._token: Optional[contextvars.Token] = None
+
+    def __enter__(self) -> "_SuppressSpan":
+        self._token = _sampled_out.set(True)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._token is not None:
+            _sampled_out.reset(self._token)
+        return False
+
+    def set(self, **attrs) -> "_SuppressSpan":
+        return self
+
+
 def span(name: str, **attrs):
     """A context manager timing one unit of work.
 
     When tracing is disabled this returns one shared no-op object —
-    the instrumentation's entire disabled cost is this branch."""
+    the instrumentation's entire disabled cost is this branch.  With
+    head-based sampling active (:func:`set_sample_rate` < 1), the
+    keep/drop decision happens only at root spans; a dropped root
+    suppresses its whole subtree."""
     if not ENABLED:
         return _NOOP
+    if _sampled_out.get():
+        return _NOOP
+    if _SAMPLE_RATE < 1.0 and _parent_id.get() is None:
+        if _rng.random() >= _SAMPLE_RATE:
+            return _SuppressSpan()
     return Span(name, attrs)
 
 
@@ -261,6 +307,27 @@ def enabled() -> bool:
 def set_enabled(flag: bool) -> None:
     global ENABLED
     ENABLED = bool(flag)
+
+
+def set_sample_rate(rate: float, seed: Optional[int] = None) -> None:
+    """Head-based sampling: keep roughly ``rate`` of root span trees.
+
+    ``rate=1.0`` (the default) records everything; ``rate=0.1`` keeps
+    ~10% of traces whole and drops the other ~90% entirely — the knob
+    that makes always-on tracing affordable on a busy server
+    (``$REPRO_TRACE_SAMPLE`` sets it at import time).  ``seed`` pins
+    the decision sequence for tests.
+    """
+    global _SAMPLE_RATE
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"sample rate must be in [0, 1], got {rate!r}")
+    _SAMPLE_RATE = float(rate)
+    if seed is not None:
+        _rng.seed(seed)
+
+
+def sample_rate() -> float:
+    return _SAMPLE_RATE
 
 
 def add_exporter(exporter) -> None:
@@ -296,16 +363,21 @@ def traced_job(
     one thread, so the module-global flip is safe there; in-process
     (thread-mode) callers should rely on context propagation instead.
     """
-    global ENABLED
+    global ENABLED, _SAMPLE_RATE
     collector = _ListExporter()
     _TRACER.add_exporter(collector)
     prev = ENABLED
+    prev_rate = _SAMPLE_RATE
     ENABLED = True
+    # The parent made the keep/drop decision when it submitted the job;
+    # a worker re-sampling would punch holes in an already-kept trace.
+    _SAMPLE_RATE = 1.0
     try:
         with span(name, **(attrs or {})):
             result = fn(*args)
     finally:
         ENABLED = prev
+        _SAMPLE_RATE = prev_rate
         _TRACER.remove_exporter(collector)
     return result, collector.records
 
@@ -380,33 +452,122 @@ def chrome_trace_from_jsonl(
     return trace
 
 
-def rollup(records: Iterable[dict]) -> Dict[str, Dict[str, float]]:
+def _summarize(durations: List[float]) -> Dict[str, float]:
+    durations.sort()
+    n = len(durations)
+    return {
+        "count": n,
+        "p50_ms": round(durations[n // 2], 3),
+        "p95_ms": round(durations[min(n - 1, int(n * 0.95))], 3),
+        "max_ms": round(durations[-1], 3),
+        "total_ms": round(sum(durations), 3),
+    }
+
+
+def rollup(
+    records: Iterable[dict], top: Optional[int] = None
+) -> Dict[str, Dict[str, float]]:
     """Per-span-name duration rollups: count, p50/p95/max/total ms.
 
     The shape embedded in bench ledgers and served under ``/stats`` —
     enough to localize a regression to a stage without opening the
-    full trace."""
+    full trace.  ``top=N`` keeps only the N names with the largest
+    ``total_ms`` (ordered hottest first), bounding the payload on
+    long-lived servers with many distinct span names."""
     by_name: Dict[str, List[float]] = {}
     for r in records:
         by_name.setdefault(r["name"], []).append(float(r["dur_us"]) / 1000.0)
     out: Dict[str, Dict[str, float]] = {}
     for name, durations in sorted(by_name.items()):
-        durations.sort()
-        n = len(durations)
-        out[name] = {
-            "count": n,
-            "p50_ms": round(durations[n // 2], 3),
-            "p95_ms": round(durations[min(n - 1, int(n * 0.95))], 3),
-            "max_ms": round(durations[-1], 3),
-            "total_ms": round(sum(durations), 3),
-        }
+        out[name] = _summarize(durations)
+    if top is not None and top >= 0 and len(out) > top:
+        keep = sorted(out.items(), key=lambda kv: -kv[1]["total_ms"])[:top]
+        out = dict(keep)
     return out
+
+
+class RollupAccumulator:
+    """Streaming rollup over an unbounded span feed in bounded memory.
+
+    Usable directly as an exporter (:meth:`export`).  ``total_ms``,
+    ``max_ms`` and ``count`` are exact; the percentiles come from a
+    per-name reservoir of the most recent ``window`` durations, so they
+    track current behaviour instead of averaging over the server's
+    whole lifetime.
+    """
+
+    def __init__(self, window: int = 512) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self._window = window
+        self._lock = threading.Lock()
+        self._state: Dict[str, dict] = {}
+
+    def add(self, record: dict) -> None:
+        ms = float(record["dur_us"]) / 1000.0
+        name = record["name"]
+        with self._lock:
+            state = self._state.get(name)
+            if state is None:
+                state = {
+                    "count": 0,
+                    "total_ms": 0.0,
+                    "max_ms": 0.0,
+                    "recent": deque(maxlen=self._window),
+                }
+                self._state[name] = state
+            state["count"] += 1
+            state["total_ms"] += ms
+            if ms > state["max_ms"]:
+                state["max_ms"] = ms
+            state["recent"].append(ms)
+
+    # Exporter protocol, so an accumulator can sit on the tracer.
+    export = add
+
+    def summary(
+        self, top: Optional[int] = None
+    ) -> Dict[str, Dict[str, float]]:
+        with self._lock:
+            snapshot = [
+                (name, state["count"], state["total_ms"], state["max_ms"],
+                 list(state["recent"]))
+                for name, state in self._state.items()
+            ]
+        out: Dict[str, Dict[str, float]] = {}
+        for name, count, total, mx, recent in sorted(snapshot):
+            recent.sort()
+            n = len(recent)
+            out[name] = {
+                "count": count,
+                "p50_ms": round(recent[n // 2], 3) if n else 0.0,
+                "p95_ms": round(recent[min(n - 1, int(n * 0.95))], 3)
+                if n else 0.0,
+                "max_ms": round(mx, 3),
+                "total_ms": round(total, 3),
+            }
+        if top is not None and top >= 0 and len(out) > top:
+            keep = sorted(out.items(), key=lambda kv: -kv[1]["total_ms"])[:top]
+            out = dict(keep)
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._state.clear()
 
 
 # $REPRO_TRACE=<path> turns tracing on at import time — how benchmark
 # subprocesses and the obs-enabled CI tier inherit a trace sink without
-# every entry point growing plumbing.
+# every entry point growing plumbing.  $REPRO_TRACE_SAMPLE=<rate>
+# applies head-based sampling on top (serve sets 0.1 for always-on
+# tracing at affordable cost).
 _env_path = os.environ.get("REPRO_TRACE")
 if _env_path:  # pragma: no cover - exercised via subprocess tests
     add_exporter(JSONLExporter(_env_path))
     ENABLED = True
+_env_sample = os.environ.get("REPRO_TRACE_SAMPLE")
+if _env_sample:  # pragma: no cover - exercised via subprocess tests
+    try:
+        set_sample_rate(float(_env_sample))
+    except ValueError:
+        pass

@@ -30,11 +30,17 @@ Routes
 ``GET /evolve/peaks/{id}``    one tracked peak trajectory + its events
 ``GET /evolve/diff/{w}/{tx}/{ty}``
                               signed terrain-diff tile; strong ETag
+``GET /dash``                 self-contained HTML dashboard (sparklines)
+``GET /debug/prof?seconds=N`` on-demand profile: flamegraph SVG, or
+                              collapsed text with ``format=collapsed``
+``GET /debug/slow``           slow-request exemplars (span waterfall +
+                              profile slice per request over threshold)
 """
 
 from __future__ import annotations
 
 import asyncio
+import threading
 import time
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
@@ -44,9 +50,11 @@ from ..accel import native as accel_native
 from ..engine import ArtifactCache, registry
 from ..engine.pipeline import Pipeline
 from ..obs import metrics as obs_metrics
+from ..obs import prof as obs_prof
 from ..obs import trace as obs_trace
 from ..resil import faults as resil_faults
 from ..resil.retry import CircuitOpen, DeadlineExceeded, Saturated
+from . import debug as serve_debug
 from . import workers
 from .evolve import EvolveRun, EvolveSession, evolve_sse_events
 from .http import EventStreamResponse, HTTPError, Request, Response, Router
@@ -159,6 +167,16 @@ class ServeApp:
         # stepped (NTP corrections would yield negative or inflated
         # uptimes under time.time()).
         self._started = time.monotonic()
+        # Debug surfaces: slow-request exemplars, the dashboard's
+        # metrics-snapshot ring, and a continuous low-rate profiler.
+        # The two background threads start lazily on the first request
+        # observation or debug-page hit, so apps constructed in tests
+        # (and never served) spawn no threads.
+        self.slow_requests = serve_debug.SlowRequestStore()
+        self.dash_ring = serve_debug.MetricsSnapshotRing()
+        self.cont_profiler = obs_prof.ContinuousProfiler(hz=19)
+        self._debug_started = False
+        self._debug_lock = threading.Lock()
 
     @property
     def uptime_s(self) -> float:
@@ -462,6 +480,9 @@ class ServeApp:
                     "/stats",
                     "/metrics",
                     "/healthz",
+                    "/dash",
+                    "/debug/prof?seconds=N",
+                    "/debug/slow",
                 ],
             }
         )
@@ -489,7 +510,9 @@ class ServeApp:
             "uptime_s": self.uptime_s,
             # Per-span-name rollup of the recent trace ring (empty when
             # tracing is disabled — the ring only fills under --trace).
-            "spans": obs_trace.rollup(_SPAN_RING.snapshot()),
+            # Bounded to the hottest names by total ms so the payload
+            # stays flat on long-lived servers with many span names.
+            "spans": obs_trace.rollup(_SPAN_RING.snapshot(), top=20),
             # Kernel tier powering cold builds: the configured mode plus
             # the native tier's compile/cache/fallback status (passive —
             # never triggers a compile from a stats scrape).
@@ -746,6 +769,90 @@ class ServeApp:
             raise HTTPError(404, f"unknown stream session {session!r}")
         return EventStreamResponse(sse_events(spec, self.runner, self.cache))
 
+    # -- debug surfaces -------------------------------------------------
+    def _ensure_debug_started(self) -> None:
+        """Start the continuous profiler and dash sampler once, on the
+        first observed request or debug-page hit."""
+        if self._debug_started:
+            return
+        with self._debug_lock:
+            if self._debug_started:
+                return
+            self.cont_profiler.start()
+            self.dash_ring.start()
+            self._debug_started = True
+
+    def observe_request(
+        self,
+        *,
+        path: str,
+        request_id: str,
+        status: int,
+        t0_wall: float,
+        dur_s: float,
+    ) -> None:
+        """HTTP-server hook, called once per finished request (after
+        the response is written — never on the latency path)."""
+        self._ensure_debug_started()
+        self.slow_requests.observe(
+            path=path,
+            request_id=request_id,
+            status=status,
+            t0_wall=t0_wall,
+            dur_s=dur_s,
+            span_records=_SPAN_RING.snapshot(),
+            profiler=self.cont_profiler,
+        )
+
+    async def _get_dash(self, request: Request) -> Response:
+        self._ensure_debug_started()
+        self.dash_ring.sample()  # one fresh point so the view is current
+        _M_UPTIME.set(self.uptime_s)
+        page = serve_debug.render_dash(
+            ring=self.dash_ring,
+            slow=self.slow_requests,
+            uptime_s=self.uptime_s,
+            span_rollup=obs_trace.rollup(_SPAN_RING.snapshot(), top=15),
+        )
+        return Response.text(page, content_type="text/html; charset=utf-8")
+
+    async def _get_debug_prof(self, request: Request) -> Response:
+        """On-demand sampled profile of the live server: block this
+        handler ``seconds`` (the event loop keeps serving), then render
+        a flamegraph SVG (default) or collapsed text."""
+        self._ensure_debug_started()
+        seconds = request.query_int("seconds", default=2, lo=1, hi=30)
+        hz = request.query_int("hz", default=obs_prof.DEFAULT_HZ, lo=1,
+                               hi=997)
+        fmt = request.query_str("format", default="svg")
+        if fmt not in ("svg", "collapsed"):
+            raise HTTPError(400, "format must be 'svg' or 'collapsed'")
+        profiler = obs_prof.SamplingProfiler(hz=hz).start()
+        try:
+            await asyncio.sleep(seconds)
+        finally:
+            profile = profiler.stop()
+        if fmt == "collapsed":
+            return Response.text(
+                profile.collapsed(),
+                content_type="text/plain; charset=utf-8",
+            )
+        svg = obs_prof.flamegraph_svg(
+            profile, title=f"repro serve — {seconds}s at {hz}Hz"
+        )
+        return Response.text(svg, content_type="image/svg+xml")
+
+    async def _get_debug_slow(self, request: Request) -> Response:
+        self._ensure_debug_started()
+        return Response.json_(
+            {
+                "threshold_s": self.slow_requests.threshold_s,
+                "observed": self.slow_requests.observed,
+                "captured": self.slow_requests.captured,
+                "exemplars": self.slow_requests.snapshot(),
+            }
+        )
+
     # -- router ---------------------------------------------------------
     def router(self) -> Router:
         router = Router()
@@ -763,4 +870,7 @@ class ServeApp:
         router.get("/evolve/windows", self._get_evolve_windows)
         router.get("/evolve/peaks/{tid}", self._get_evolve_peak)
         router.get("/evolve/diff/{w}/{tx}/{ty}", self._get_evolve_diff)
+        router.get("/dash", self._get_dash)
+        router.get("/debug/prof", self._get_debug_prof)
+        router.get("/debug/slow", self._get_debug_slow)
         return router

@@ -1,0 +1,382 @@
+"""Serve-side debug surfaces: slow-request exemplars and the dashboard.
+
+Three small pieces behind ``/debug/slow`` and ``/dash``:
+
+* :class:`MetricsSnapshotRing` — a background sampler flattening the
+  process metrics registry into scalar series on a bounded ring, the
+  data the dashboard's sparklines draw from;
+* :class:`SlowRequestStore` — a bounded store of *exemplars* for
+  requests over a latency threshold: the span waterfall of the request
+  window (cut from the server's trace ring) plus a profile slice from
+  the continuous profiler covering the same wall-clock interval;
+* :func:`render_dash` — a self-contained HTML dashboard (inline SVG
+  sparklines, no scripts, no external assets).
+
+Everything here is read-side instrumentation: nothing blocks or slows
+a request beyond one ``observe()`` call after the response is written.
+"""
+
+from __future__ import annotations
+
+import html
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from ..obs import metrics as obs_metrics
+
+__all__ = ["MetricsSnapshotRing", "SlowRequestStore", "render_dash"]
+
+#: Spans kept per slow-request waterfall (largest first beyond this).
+_MAX_WATERFALL = 64
+#: Hottest frames kept per slow-request profile slice.
+_MAX_PROFILE_FRAMES = 15
+
+
+def scalar_snapshot(registry=None) -> Dict[str, float]:
+    """The metrics registry flattened to ``{series_name: value}``.
+
+    Labelled counters/gauges sum over their children (the dashboard
+    wants trends, not cardinality); histograms contribute ``*_count``
+    and ``*_sum`` series, whose deltas give rates and mean latencies.
+    """
+    registry = registry if registry is not None else obs_metrics.REGISTRY
+    out: Dict[str, float] = {}
+    for name, value in registry.summary().items():
+        if isinstance(value, (int, float)):
+            out[name] = float(value)
+        elif isinstance(value, dict):
+            children = list(value.values())
+            if children and isinstance(children[0], dict):  # histogram
+                out[name + "_count"] = float(
+                    sum(c.get("count", 0) for c in children)
+                )
+                out[name + "_sum"] = float(
+                    sum(c.get("sum", 0.0) for c in children)
+                )
+            else:
+                out[name] = float(sum(children)) if children else 0.0
+    return out
+
+
+class MetricsSnapshotRing:
+    """Periodic scalar snapshots of the metrics registry on a ring.
+
+    ``start()`` spins a daemon thread sampling every ``interval_s``;
+    at the defaults (5 s × 360 samples) the ring holds a 30-minute
+    window.  :meth:`sample` can also be called directly (tests, and an
+    extra point on each dashboard render so the view is current).
+    """
+
+    def __init__(self, capacity: int = 360, interval_s: float = 5.0) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.interval_s = float(interval_s)
+        self._ring: "deque[Tuple[float, Dict[str, float]]]" = deque(
+            maxlen=capacity
+        )
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def sample(self) -> None:
+        point = (time.time(), scalar_snapshot())
+        with self._lock:
+            self._ring.append(point)
+
+    def start(self) -> "MetricsSnapshotRing":
+        if self._thread is None:
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="repro-dash-sampler", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self.sample()
+            except Exception:
+                pass
+            self._stop.wait(self.interval_s)
+
+    def snapshot(self) -> List[Tuple[float, Dict[str, float]]]:
+        with self._lock:
+            return list(self._ring)
+
+    def series(self, name: str) -> List[Tuple[float, float]]:
+        """One metric's ``(wall_time, value)`` points, oldest first."""
+        return [
+            (t, values[name])
+            for t, values in self.snapshot()
+            if name in values
+        ]
+
+    def names(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for _, values in self.snapshot():
+            for name in values:
+                seen.setdefault(name)
+        return sorted(seen)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+
+class SlowRequestStore:
+    """Bounded exemplars for requests slower than ``threshold_s``.
+
+    Each exemplar carries the request identity, a span waterfall (the
+    trace-ring records whose interval overlaps the request's) and a
+    profile slice (the continuous profiler's samples over the same
+    window) — enough to answer *what was this one slow request doing*
+    without re-running anything.
+    """
+
+    def __init__(self, capacity: int = 32, threshold_s: float = 0.5) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.threshold_s = float(threshold_s)
+        self._ring: "deque[dict]" = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.observed = 0
+        self.captured = 0
+
+    def observe(
+        self,
+        *,
+        path: str,
+        request_id: str,
+        status: int,
+        t0_wall: float,
+        dur_s: float,
+        span_records: Optional[List[dict]] = None,
+        profiler=None,
+    ) -> Optional[dict]:
+        """Feed one finished request; returns the exemplar if captured."""
+        self.observed += 1
+        if dur_s < self.threshold_s:
+            return None
+        t1_wall = t0_wall + dur_s
+        exemplar = {
+            "path": path,
+            "request_id": request_id,
+            "status": int(status),
+            "t_wall": t0_wall,
+            "dur_ms": round(dur_s * 1000.0, 3),
+            "waterfall": self._waterfall(span_records or [], t0_wall, t1_wall),
+            "profile": self._profile_slice(profiler, t0_wall, t1_wall),
+        }
+        with self._lock:
+            self._ring.append(exemplar)
+        self.captured += 1
+        return exemplar
+
+    @staticmethod
+    def _waterfall(records: List[dict], t0: float, t1: float) -> List[dict]:
+        """Trace-ring records overlapping ``[t0, t1]`` as waterfall rows
+        (offset/duration relative to the request start, largest kept)."""
+        t0_us, t1_us = t0 * 1e6, t1 * 1e6
+        rows = []
+        for r in records:
+            try:
+                ts, dur = float(r["ts_us"]), float(r["dur_us"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            if ts + dur < t0_us or ts > t1_us:
+                continue
+            rows.append(
+                {
+                    "name": r.get("name", "?"),
+                    "offset_ms": round((ts - t0_us) / 1000.0, 3),
+                    "dur_ms": round(dur / 1000.0, 3),
+                    "id": r.get("id"),
+                    "parent": r.get("parent"),
+                }
+            )
+        rows.sort(key=lambda row: -row["dur_ms"])
+        del rows[_MAX_WATERFALL:]
+        rows.sort(key=lambda row: row["offset_ms"])
+        return rows
+
+    @staticmethod
+    def _profile_slice(profiler, t0: float, t1: float) -> Optional[dict]:
+        if profiler is None:
+            return None
+        try:
+            profile = profiler.window(t0, t1)
+        except Exception:
+            return None
+        return {
+            "samples": profile.n_samples,
+            "hz": profile.hz,
+            "top": [
+                [label, count]
+                for label, count in profile.top(_MAX_PROFILE_FRAMES)
+            ],
+        }
+
+    def snapshot(self) -> List[dict]:
+        """Exemplars, most recent first."""
+        with self._lock:
+            return list(reversed(self._ring))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+
+# ----------------------------------------------------------------------
+# Dashboard rendering
+# ----------------------------------------------------------------------
+def sparkline_svg(
+    points: List[Tuple[float, float]],
+    *,
+    width: int = 220,
+    height: int = 36,
+    as_rate: bool = False,
+) -> str:
+    """One inline SVG sparkline for a ``(t, value)`` series.
+
+    ``as_rate=True`` plots per-second deltas — the natural view for
+    monotonic counters, where the raw series is just a ramp."""
+    if as_rate and len(points) >= 2:
+        points = [
+            (t1, max(0.0, (v1 - v0) / (t1 - t0)) if t1 > t0 else 0.0)
+            for (t0, v0), (t1, v1) in zip(points, points[1:])
+        ]
+    if not points:
+        return (
+            f'<svg width="{width}" height="{height}">'
+            f'<text x="4" y="{height - 6}" font-size="10" '
+            f'fill="#999">no data</text></svg>'
+        )
+    values = [v for _, v in points]
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    n = len(points)
+    coords = []
+    for i, (_, v) in enumerate(points):
+        x = 2 + (width - 4) * (i / max(1, n - 1))
+        y = height - 3 - (height - 8) * ((v - lo) / span)
+        coords.append(f"{x:.1f},{y:.1f}")
+    poly = " ".join(coords)
+    return (
+        f'<svg width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">'
+        f'<polyline points="{poly}" fill="none" stroke="#4677b8" '
+        f'stroke-width="1.5"/>'
+        f'<text x="{width - 4}" y="10" font-size="9" fill="#666" '
+        f'text-anchor="end">{hi:.4g}</text>'
+        f"</svg>"
+    )
+
+
+#: Dashboard panels: (title, series name, plot deltas as a rate?).
+_DASH_PANELS = [
+    ("HTTP requests /s", "repro_http_request_seconds_count", True),
+    ("HTTP latency sum (s)", "repro_http_request_seconds_sum", True),
+    ("Tiles served /s", "repro_tiles_served_total", True),
+    ("Cache hits /s", "repro_cache_hits_total", True),
+    ("Cache misses /s", "repro_cache_misses_total", True),
+    ("Stage build seconds", "repro_stage_build_seconds_sum", True),
+    ("Uptime (s)", "repro_serve_uptime_seconds", False),
+]
+
+
+def render_dash(
+    *,
+    ring: MetricsSnapshotRing,
+    slow: SlowRequestStore,
+    uptime_s: float,
+    span_rollup: Optional[Dict[str, Dict[str, float]]] = None,
+) -> str:
+    """The ``/dash`` page: sparklines + slow exemplars + span rollup,
+    as one self-contained HTML document (no scripts, no assets)."""
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        "<title>repro dashboard</title>",
+        "<style>",
+        "body{font-family:monospace;margin:1.5em;background:#fdf6ec;"
+        "color:#222}",
+        "h1{font-size:1.2em}h2{font-size:1em;margin-top:1.4em}",
+        ".panel{display:inline-block;margin:0 1.2em 1em 0;"
+        "vertical-align:top}",
+        ".panel .t{font-size:10px;color:#555}",
+        "table{border-collapse:collapse;font-size:11px}",
+        "td,th{border:1px solid #ccb;padding:2px 7px;text-align:left}",
+        "a{color:#4677b8}",
+        "</style></head><body>",
+        f"<h1>repro dashboard</h1>"
+        f"<p>uptime {uptime_s:.0f}s &middot; {len(ring)} snapshots "
+        f"&middot; <a href='/debug/prof?seconds=2'>profile (2s)</a> "
+        f"&middot; <a href='/debug/slow'>slow requests</a> "
+        f"&middot; <a href='/stats'>stats</a> "
+        f"&middot; <a href='/metrics'>metrics</a></p>",
+        "<h2>metrics</h2>",
+    ]
+    for title, name, as_rate in _DASH_PANELS:
+        series = ring.series(name)
+        parts.append(
+            "<div class='panel'>"
+            f"<div class='t'>{html.escape(title)}</div>"
+            f"{sparkline_svg(series, as_rate=as_rate)}"
+            "</div>"
+        )
+    parts.append(
+        f"<h2>slow requests (&ge; {slow.threshold_s * 1000:.0f} ms "
+        f"&middot; {slow.captured}/{slow.observed} captured)</h2>"
+    )
+    exemplars = slow.snapshot()
+    if exemplars:
+        parts.append(
+            "<table><tr><th>when</th><th>path</th><th>status</th>"
+            "<th>ms</th><th>hottest frame</th></tr>"
+        )
+        for ex in exemplars[:10]:
+            prof_top = (ex.get("profile") or {}).get("top") or []
+            hottest = prof_top[0][0] if prof_top else "-"
+            when = time.strftime(
+                "%H:%M:%S", time.localtime(ex["t_wall"])
+            )
+            parts.append(
+                f"<tr><td>{when}</td>"
+                f"<td>{html.escape(str(ex['path']))}</td>"
+                f"<td>{ex['status']}</td><td>{ex['dur_ms']:.0f}</td>"
+                f"<td>{html.escape(str(hottest))}</td></tr>"
+            )
+        parts.append("</table>")
+    else:
+        parts.append("<p>none captured</p>")
+    if span_rollup:
+        parts.append("<h2>span rollup (top by total ms)</h2>")
+        parts.append(
+            "<table><tr><th>span</th><th>count</th><th>p50 ms</th>"
+            "<th>p95 ms</th><th>total ms</th></tr>"
+        )
+        ordered = sorted(
+            span_rollup.items(), key=lambda kv: -kv[1]["total_ms"]
+        )
+        for name, stats in ordered:
+            parts.append(
+                f"<tr><td>{html.escape(name)}</td>"
+                f"<td>{stats['count']}</td><td>{stats['p50_ms']}</td>"
+                f"<td>{stats['p95_ms']}</td><td>{stats['total_ms']}</td>"
+                f"</tr>"
+            )
+        parts.append("</table>")
+    parts.append("</body></html>")
+    return "".join(parts)

@@ -369,6 +369,12 @@ class HTTPServer:
         #: overflow gets 429 + Retry-After instead of an unbounded pile
         #: of replay threads.
         self.max_sse_sessions = max_sse_sessions
+        #: Optional post-response hook: called with keyword arguments
+        #: ``path, request_id, status, t0_wall, dur_s`` after every
+        #: buffered response.  The serve app wires its slow-request
+        #: exemplar store here; errors in the hook are swallowed (debug
+        #: surfaces must never fail a request that already succeeded).
+        self.request_observer = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: set = set()
         self._sse_active = 0
@@ -439,6 +445,7 @@ class HTTPServer:
         a span per request, a latency observation, a status counter, and
         ``X-Request-Id`` stamped on every buffered response."""
         t0 = time.perf_counter()
+        t0_wall = time.time()
         with obs_trace.span(
             "http.request",
             method=request.method,
@@ -518,8 +525,20 @@ class HTTPServer:
                     status=500,
                 )
             sp.set(status=status)
-        _M_REQUEST_SECONDS.observe(time.perf_counter() - t0)
+        dur_s = time.perf_counter() - t0
+        _M_REQUEST_SECONDS.observe(dur_s)
         _M_RESPONSES.inc(status=str(status))
+        if self.request_observer is not None:
+            try:
+                self.request_observer(
+                    path=request.path,
+                    request_id=request_id,
+                    status=status,
+                    t0_wall=t0_wall,
+                    dur_s=dur_s,
+                )
+            except Exception:
+                pass
         if isinstance(response, Response):
             response.headers.append(("X-Request-Id", request_id))
         return response

@@ -50,6 +50,10 @@ class ServerThread:
             self.app.router(), self.host, self.port,
             max_sse_sessions=self.max_sse_sessions,
         )
+        # Slow-request exemplars (span waterfall + profile slice under
+        # /debug/slow) ride the server's post-response hook.  Stub apps
+        # without the hook (resilience tests) just skip it.
+        server.request_observer = getattr(self.app, "observe_request", None)
         self.server = server
         try:
             loop.run_until_complete(server.start())

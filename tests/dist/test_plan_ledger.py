@@ -1,0 +1,142 @@
+"""`--dist auto` consulting the measured-cost ledger: sharding must
+refuse when measured shard overhead exceeds the measured parallel win
+(the ROADMAP exit criterion), and stay available when it wins."""
+
+import importlib
+
+import pytest
+
+from repro.dist.plan import AUTO_MIN_EDGES, last_decline_reason
+from repro.engine import Pipeline
+from repro.engine.pipeline import GraphSource
+from repro.graph import generators
+from repro.obs.costs import CostLedger
+
+plan_mod = importlib.import_module("repro.dist.plan")
+
+
+@pytest.fixture
+def multicore(monkeypatch):
+    """Auto planning needs a multi-core host; CI runners may have one."""
+    monkeypatch.setattr(plan_mod, "usable_cpus", lambda: 8)
+
+
+def _graph(n=5000):
+    # ~3n edges: above the static auto threshold for an expensive
+    # field (AUTO_MIN_EDGES * 0.25), so only the ledger can say no.
+    return generators.powerlaw_cluster(n, 3, 0.3, seed=3)
+
+
+def _big_enough(graph):
+    return graph.n_edges >= AUTO_MIN_EDGES * 0.25
+
+
+def _losing_ledger(graph, measure="kcore"):
+    """Measured truth: sharded builds are slower than single-process."""
+    ledger = CostLedger(None)
+    ledger.record("stage.tree", 0.2, measure=measure, size=graph.n_edges)
+    ledger.record("dist.tree", 1.5, size=graph.n_edges)
+    return ledger
+
+
+def _winning_ledger(graph, measure="kcore"):
+    ledger = CostLedger(None)
+    ledger.record("stage.tree", 2.0, measure=measure, size=graph.n_edges)
+    ledger.record("dist.tree", 0.4, size=graph.n_edges)
+    return ledger
+
+
+class TestMeasuredVerdict:
+    def test_losing_ledger_declines(self, multicore):
+        graph = _graph()
+        assert _big_enough(graph), "test graph below the static threshold"
+        result = plan_mod.plan(
+            "auto", graph, measure_cost="expensive",
+            measure="kcore", ledger=_losing_ledger(graph),
+        )
+        assert result is None
+        reason = last_decline_reason()
+        assert reason and "measured" in reason and "loses" in reason
+
+    def test_winning_ledger_shards_with_measured_note(self, multicore):
+        graph = _graph()
+        result = plan_mod.plan(
+            "auto", graph, measure_cost="expensive",
+            measure="kcore", ledger=_winning_ledger(graph),
+        )
+        assert result is not None
+        assert "measured win" in result.reason
+
+    def test_empty_ledger_falls_back_to_static_thresholds(self, multicore):
+        graph = _graph()
+        result = plan_mod.plan(
+            "auto", graph, measure_cost="expensive",
+            measure="kcore", ledger=CostLedger(None),
+        )
+        assert result is not None  # static path still shards
+        assert "measured" not in result.reason
+
+    def test_one_sided_ledger_is_not_a_verdict(self, multicore):
+        """Only a single-process measurement (no dist.tree row yet):
+        the ledger refines decisions, it never blocks first runs."""
+        graph = _graph()
+        ledger = CostLedger(None)
+        ledger.record("stage.tree", 0.2, measure="kcore",
+                      size=graph.n_edges)
+        assert plan_mod.plan(
+            "auto", graph, measure_cost="expensive",
+            measure="kcore", ledger=ledger,
+        ) is not None
+
+    def test_margin_requires_a_real_win(self, multicore):
+        """A sharded time only epsilon under single-process is not
+        worth the process-pool machinery (MEASURED_WIN_MARGIN)."""
+        graph = _graph()
+        ledger = CostLedger(None)
+        ledger.record("stage.tree", 1.0, measure="kcore",
+                      size=graph.n_edges)
+        ledger.record("dist.tree", 0.95, size=graph.n_edges)
+        assert plan_mod.plan(
+            "auto", graph, measure_cost="expensive",
+            measure="kcore", ledger=ledger,
+        ) is None
+
+    def test_explicit_worker_count_ignores_ledger(self, multicore):
+        """Only auto consults measurements — an explicit --dist N is an
+        order, not a question."""
+        graph = _graph()
+        result = plan_mod.plan(
+            "2", graph, measure="kcore", ledger=_losing_ledger(graph),
+        )
+        assert result is not None and result.workers == 2
+
+
+class TestPipelineAuto:
+    def test_pipeline_runs_single_process_under_losing_ledger(
+        self, multicore
+    ):
+        """The regression the ISSUE pins: with a ledger recording
+        losing shard costs, --dist auto must run single-process."""
+        # kcore is a 'moderate' field: the static threshold is
+        # AUTO_MIN_EDGES * 0.5, so the graph must be bigger here.
+        graph = _graph(9000)
+        pipeline = Pipeline(GraphSource(graph), "kcore", dist="auto")
+        pipeline.cost_ledger = _losing_ledger(graph)
+        try:
+            assert pipeline.dist_plan() is None
+            assert "loses" in pipeline._dist_note
+            assert pipeline.tree is not None  # build still works
+            assert pipeline._dist_executor is None
+        finally:
+            pipeline.close_dist()
+
+    def test_pipeline_shards_under_winning_ledger(self, multicore):
+        graph = _graph(9000)
+        pipeline = Pipeline(GraphSource(graph), "kcore", dist="auto")
+        pipeline.cost_ledger = _winning_ledger(graph)
+        try:
+            resolved = pipeline.dist_plan()
+            assert resolved is not None
+            assert "measured win" in resolved.reason
+        finally:
+            pipeline.close_dist()

@@ -13,6 +13,7 @@ from repro.graph.io import write_edge_list
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace
 from repro.serve import ServeApp, ServerThread
+from repro.serve import app as serve_app
 from repro.serve.http import HTTPError, Request, Response, Router, HTTPServer
 
 
@@ -183,6 +184,10 @@ class TestServeSurfaces:
     def test_stats_has_span_rollup_and_monotonic_uptime(
         self, ring, server
     ):
+        # The server's span ring is process-global; spans from earlier
+        # tests would otherwise crowd http.request out of the bounded
+        # top-N rollup.
+        serve_app._SPAN_RING.clear()
         get(server.port, "/healthz")
         status, __, body = get(server.port, "/stats")
         stats = json.loads(body)

@@ -1,0 +1,165 @@
+"""The perf-regression gate: scripts/bench_diff.py exit codes and
+direction-aware metric comparison."""
+
+import copy
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_diff",
+    Path(__file__).resolve().parent.parent / "scripts" / "bench_diff.py",
+)
+bench_diff = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_diff)
+
+
+HOST = {"cpus": 4, "platform": "linux", "machine": "x86_64",
+        "python": "3.12.0", "compiler": "cc 13"}
+
+
+def ledger(**overrides):
+    base = {
+        "benches": {
+            "bench_x.py": {"exit_code": 0, "seconds": 2.0, "summary": "ok"},
+            "bench_y.py": {"exit_code": 0, "seconds": 4.0, "summary": "ok"},
+        },
+        "speedups": {"accel_table2": {"tree_speedup": 5.0}},
+        "span_rollups": {
+            "stage.tree": {"count": 3, "p50_ms": 10.0, "p95_ms": 20.0,
+                           "max_ms": 25.0, "total_ms": 120.0},
+        },
+        "env": {"host": dict(HOST)},
+        "total_seconds": 6.0,
+    }
+    base.update(overrides)
+    return base
+
+
+@pytest.fixture
+def write(tmp_path):
+    def _write(name, data):
+        path = tmp_path / name
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    return _write
+
+
+class TestGate:
+    def test_identity_diff_passes(self, write):
+        a = write("a.json", ledger())
+        assert bench_diff.main([a, a]) == 0
+
+    def test_twenty_percent_regression_fails(self, write, capsys):
+        slow = ledger()
+        slow["benches"]["bench_x.py"]["seconds"] = 2.5  # +25% > 20% tol
+        rc = bench_diff.main(
+            [write("a.json", ledger()), write("b.json", slow)]
+        )
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "bench.bench_x.py.seconds" in captured.err
+
+    def test_tolerance_is_configurable(self, write):
+        slow = ledger()
+        slow["benches"]["bench_x.py"]["seconds"] = 2.5
+        args = [write("a.json", ledger()), write("b.json", slow)]
+        assert bench_diff.main(args + ["--tolerance", "0.3"]) == 0
+        assert bench_diff.main(args + ["--tolerance", "0.1"]) == 1
+
+    def test_speedup_columns_gate_downward(self, write):
+        worse = ledger()
+        worse["speedups"]["accel_table2"]["tree_speedup"] = 3.0  # -40%
+        rc = bench_diff.main(
+            [write("a.json", ledger()), write("b.json", worse)]
+        )
+        assert rc == 1
+        # Higher speedup is never a regression.
+        better = ledger()
+        better["speedups"]["accel_table2"]["tree_speedup"] = 50.0
+        assert bench_diff.main(
+            [write("a.json", ledger()), write("c.json", better)]
+        ) == 0
+
+    def test_faster_benches_pass(self, write):
+        fast = ledger()
+        fast["benches"]["bench_x.py"]["seconds"] = 0.5
+        assert bench_diff.main(
+            [write("a.json", ledger()), write("b.json", fast)]
+        ) == 0
+
+
+class TestHostFencing:
+    def test_cross_host_refused(self, write):
+        other = ledger()
+        other["env"]["host"] = dict(HOST, cpus=64)
+        rc = bench_diff.main(
+            [write("a.json", ledger()), write("b.json", other)]
+        )
+        assert rc == 3
+
+    def test_missing_fingerprint_refused(self, write):
+        legacy = ledger(env={})
+        assert bench_diff.main(
+            [write("a.json", legacy), write("b.json", ledger())]
+        ) == 3
+
+    def test_allow_cross_host_compares_anyway(self, write):
+        other = ledger()
+        other["env"]["host"] = dict(HOST, cpus=64)
+        other["benches"]["bench_x.py"]["seconds"] = 9.0
+        rc = bench_diff.main([
+            write("a.json", ledger()), write("b.json", other),
+            "--allow-cross-host",
+        ])
+        assert rc == 1  # still gates, just without the host fence
+
+    def test_compiler_differences_do_not_fence(self, write):
+        """Only fields that move wall time fence the diff; the compiler
+        banner is informational."""
+        other = ledger()
+        other["env"]["host"] = dict(HOST, compiler="cc 99")
+        assert bench_diff.main(
+            [write("a.json", ledger()), write("b.json", other)]
+        ) == 0
+
+
+class TestUsage:
+    def test_missing_file_is_usage_error(self, write, tmp_path):
+        a = write("a.json", ledger())
+        assert bench_diff.main([a, str(tmp_path / "nope.json")]) == 2
+
+    def test_not_a_ledger_is_usage_error(self, write, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2, 3]")
+        assert bench_diff.main([write("a.json", ledger()), str(bad)]) == 2
+
+    def test_negative_tolerance_rejected(self, write):
+        a = write("a.json", ledger())
+        assert bench_diff.main([a, a, "--tolerance", "-1"]) == 2
+
+
+class TestCompare:
+    def test_rows_and_regression_names(self):
+        old, new = ledger(), copy.deepcopy(ledger())
+        new["benches"]["bench_y.py"]["seconds"] = 10.0
+        rows, regressions, only_old, only_new = bench_diff.compare(
+            old, new, tolerance=0.2
+        )
+        assert regressions == ["bench.bench_y.py.seconds"]
+        assert not only_old and not only_new
+        named = {row[0]: row for row in rows}
+        assert named["span.stage.tree.total_ms"][4] == "info"
+
+    def test_committed_ledger_loads(self):
+        """The ledger committed for CI must stay parseable with a host
+        fingerprint, or the bench-regression job goes dark."""
+        path = (
+            Path(__file__).resolve().parent.parent / "BENCH_PR10.json"
+        )
+        committed = bench_diff.load_ledger(path)
+        assert bench_diff._host_of(committed) is not None
